@@ -1,0 +1,80 @@
+"""Performance benchmarks (P1): scaling of the core algorithmic primitives.
+
+Unlike the table/figure benchmarks, these measure *time* of the primitives the
+paper's complexity discussion is about — the signed BFS of Algorithm 1 is
+linear, the SBPH heuristic is polynomial, and the exact SBP search is
+exponential (and therefore budgeted).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compatibility import make_relation
+from repro.datasets import synthetic_signed_network
+from repro.signed.paths import BalancedPathSearch, signed_bfs
+from repro.skills import Task
+from repro.skills.generators import assign_skills_zipf
+from repro.teams import TeamFormationProblem, run_algorithm
+
+
+@pytest.fixture(scope="module", params=[300, 1200], ids=["n=300", "n=1200"])
+def sized_graph(request):
+    graph, _ = synthetic_signed_network(
+        request.param, average_degree=8.0, negative_fraction=0.2, seed=request.param
+    )
+    return graph
+
+
+@pytest.mark.benchmark(group="perf-signed-bfs")
+def test_perf_signed_bfs(benchmark, sized_graph):
+    """Algorithm 1 (signed shortest-path counting) from a single source."""
+    source = sized_graph.nodes()[0]
+    result = benchmark(signed_bfs, sized_graph, source)
+    assert result.counts(source) == (1, 0)
+    assert len(result.lengths) == sized_graph.number_of_nodes()
+
+
+@pytest.mark.benchmark(group="perf-sbph")
+def test_perf_sbph_heuristic_search(benchmark, sized_graph):
+    """The SBPH prefix-property balanced-path search from a single source."""
+    search = BalancedPathSearch(sized_graph)
+    source = sized_graph.nodes()[0]
+    result = benchmark.pedantic(
+        search.search_heuristic, args=(source,), rounds=3, iterations=1
+    )
+    assert source in result.positive_lengths
+
+
+@pytest.mark.benchmark(group="perf-sbp-exact")
+def test_perf_sbp_exact_budgeted(benchmark):
+    """The budgeted exact SBP search on a small graph (exponential algorithm)."""
+    graph, _ = synthetic_signed_network(
+        120, average_degree=3.0, negative_fraction=0.25, topology="erdos_renyi", seed=7
+    )
+    search = BalancedPathSearch(graph, max_expansions=20_000)
+    source = graph.nodes()[0]
+    result = benchmark.pedantic(search.search_exact, args=(source,), rounds=3, iterations=1)
+    assert result.positive_lengths
+
+
+@pytest.mark.benchmark(group="perf-team-formation")
+@pytest.mark.parametrize("relation_name", ["SPO", "SBPH", "NNE"])
+def test_perf_single_team_formation(benchmark, relation_name):
+    """One LCMD run (task size 5) under each relation family."""
+    graph, _ = synthetic_signed_network(
+        600, average_degree=10.0, negative_fraction=0.18, seed=23
+    )
+    skills = assign_skills_zipf(graph.nodes(), num_skills=150, skills_per_user=4.0, seed=23)
+    relation = make_relation(relation_name, graph)
+    task = Task.random(skills, 5, seed=5)
+    problem = TeamFormationProblem(graph, skills, relation, task)
+
+    result = benchmark.pedantic(
+        run_algorithm,
+        args=("LCMD", problem),
+        kwargs={"max_seeds": 10, "seed": 1},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.algorithm == "LCMD"

@@ -1,0 +1,110 @@
+"""Benchmark F2 — regenerate the four panels of Figure 2 (team formation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_figure2ab, run_figure2cd
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def figure2ab_result(config, team_context, team_tasks):
+    """Panels (a) and (b) computed once and shared by their two benchmarks."""
+    return run_figure2ab(config, team_context, team_tasks)
+
+
+@pytest.mark.benchmark(group="figure2ab")
+def test_figure2a_solved_tasks_per_algorithm(benchmark, config, team_context, team_tasks):
+    """Figure 2(a): % of solved tasks per algorithm and relation (k = task_size)."""
+    result = run_once(benchmark, run_figure2ab, config, team_context, team_tasks)
+
+    print("\n" + result.as_text())
+    for relation in result.relations:
+        for algorithm in result.algorithms:
+            series = result.series[relation][algorithm]
+            # No algorithm can beat the MAX upper bound.
+            assert series.solved_pct <= result.max_upper_bound[relation] + 1e-9
+        # LCMD and LCMC perform comparably (the paper: "the two algorithms
+        # perform equally well"); allow a couple of tasks of slack.
+        lcmd = result.series[relation]["LCMD"].solved
+        lcmc = result.series[relation]["LCMC"].solved
+        assert abs(lcmd - lcmc) <= max(3, result.series[relation]["LCMD"].tasks // 3)
+    # Strict relations solve (weakly) fewer tasks than relaxed ones.
+    lcmd_solved = {rel: result.series[rel]["LCMD"].solved for rel in result.relations}
+    assert lcmd_solved["SPA"] <= lcmd_solved["SPO"] + 1
+    assert lcmd_solved["SPO"] <= lcmd_solved["NNE"] + 1
+    benchmark.extra_info["solved_pct"] = {
+        rel: {alg: round(result.series[rel][alg].solved_pct, 1) for alg in result.algorithms}
+        for rel in result.relations
+    }
+
+
+@pytest.mark.benchmark(group="figure2ab")
+def test_figure2b_team_diameter_per_algorithm(benchmark, figure2ab_result):
+    """Figure 2(b): average team diameter per algorithm and relation."""
+    result = run_once(benchmark, lambda: figure2ab_result)
+
+    diameters = {}
+    for relation in result.relations:
+        for algorithm in result.algorithms:
+            series = result.series[relation][algorithm]
+            if series.solved:
+                diameters[(relation, algorithm)] = series.average_diameter
+                assert 0.0 <= series.average_diameter <= 10.0
+    # LCMD (distance-driven) should not produce larger diameters than RANDOM
+    # on average across relations (allow a small tolerance on tiny workloads).
+    lcmd_costs = [v for (rel, alg), v in diameters.items() if alg == "LCMD"]
+    random_costs = [v for (rel, alg), v in diameters.items() if alg == "RANDOM"]
+    if lcmd_costs and random_costs:
+        assert sum(lcmd_costs) / len(lcmd_costs) <= sum(random_costs) / len(random_costs) + 0.75
+    benchmark.extra_info["diameters"] = {
+        f"{rel}/{alg}": round(value, 2) for (rel, alg), value in diameters.items()
+    }
+
+
+@pytest.mark.benchmark(group="figure2cd")
+def test_figure2c_solved_tasks_vs_task_size(benchmark, config, team_context):
+    """Figure 2(c): % of solved tasks versus task size (LCMD)."""
+    result = run_once(benchmark, run_figure2cd, config, team_context)
+
+    print("\n" + result.as_text())
+    sizes = sorted(result.task_sizes)
+    for relation in result.relations:
+        series = result.series[relation]
+        # Success rate does not increase with task size (weak monotonicity with
+        # one task of slack, since each size uses a fresh random workload).
+        for small, large in zip(sizes, sizes[1:]):
+            assert series[large].solved <= series[small].solved + 1
+    # The relaxed relations stay (nearly) flat: at the largest size they still
+    # solve at least as many tasks as the strictest relation does.
+    largest = sizes[-1]
+    assert (
+        result.series["NNE"][largest].solved
+        >= result.series["SPA"][largest].solved
+    )
+    benchmark.extra_info["solved"] = {
+        rel: {k: result.series[rel][k].solved for k in sizes} for rel in result.relations
+    }
+
+
+@pytest.mark.benchmark(group="figure2cd")
+def test_figure2d_team_diameter_vs_task_size(benchmark, config, team_context):
+    """Figure 2(d): average team diameter versus task size (LCMD)."""
+    result = run_once(benchmark, run_figure2cd, config, team_context)
+
+    sizes = sorted(result.task_sizes)
+    for relation in result.relations:
+        series = result.series[relation]
+        solved_sizes = [k for k in sizes if series[k].solved > 0]
+        if len(solved_sizes) >= 2:
+            # Diameter grows (weakly) with the task size among solved tasks.
+            first, last = solved_sizes[0], solved_sizes[-1]
+            assert series[last].average_diameter >= series[first].average_diameter - 0.75
+        for k in solved_sizes:
+            assert series[k].average_diameter >= 0.0
+    benchmark.extra_info["diameter"] = {
+        rel: {k: round(result.series[rel][k].average_diameter, 2) for k in sizes}
+        for rel in result.relations
+    }

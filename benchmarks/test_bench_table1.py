@@ -1,0 +1,26 @@
+"""Benchmark T1 — regenerate Table 1 (dataset statistics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_table1
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_dataset_statistics(benchmark, config, contexts):
+    """Table 1: #users, #edges, #negative edges, diameter, #skills per dataset."""
+    result = run_once(benchmark, run_table1, config, contexts)
+
+    print("\n" + result.as_text())
+    rows = {row.name: row for row in result.rows}
+    assert set(rows) == set(config.dataset_names)
+    for row in rows.values():
+        benchmark.extra_info[f"{row.name}_users"] = row.num_users
+        benchmark.extra_info[f"{row.name}_edges"] = row.num_edges
+        benchmark.extra_info[f"{row.name}_neg_fraction"] = round(row.negative_fraction, 3)
+        # Shape check against the paper: a minority of edges is negative.
+        assert 0.05 < row.negative_fraction < 0.45
+        assert row.diameter is None or row.diameter >= 2

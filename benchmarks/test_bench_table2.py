@@ -1,0 +1,51 @@
+"""Benchmark T2 — regenerate Table 2 (comparison of compatibility relations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_table2
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_compatibility_relations(benchmark, config, contexts):
+    """Table 2: % compatible users, % compatible skills, avg distance per relation."""
+    result = run_once(benchmark, run_table2, config, contexts)
+
+    print("\n" + result.as_text())
+    for dataset_result in result.datasets:
+        cells = dataset_result.cells
+
+        def pct(name):
+            cell = cells.get(name)
+            return None if cell is None else cell.compatible_users_pct
+
+        # Paper shape: compatible-pair percentage grows as the relation relaxes,
+        # and SBPH is close to NNE ("for all pairs not directly connected with a
+        # negative edge, there exists a positive structurally balanced path").
+        assert pct("SPA") <= pct("SPM") + 1e-9
+        assert pct("SPM") <= pct("SPO") + 1e-9
+        assert pct("SPO") <= pct("NNE") + 1e-9
+        assert pct("SBPH") >= pct("SPO") - 10.0
+        assert pct("NNE") - pct("SBPH") < 20.0
+
+        # Distance shape: relaxing from SPA towards SBPH does not shrink the
+        # average distance, and NNE (which may use negative paths) drops back.
+        spa, sbph, nne = (
+            cells["SPA"].average_distance,
+            cells["SBPH"].average_distance,
+            cells["NNE"].average_distance,
+        )
+        assert sbph >= spa - 0.5
+        assert nne <= sbph + 0.5
+
+        benchmark.extra_info[f"{dataset_result.dataset}_users_pct"] = {
+            name: None if cell is None else round(cell.compatible_users_pct, 2)
+            for name, cell in cells.items()
+        }
+        if dataset_result.sbp_sbph_agreement is not None:
+            benchmark.extra_info[f"{dataset_result.dataset}_sbp_sbph_agreement"] = round(
+                100.0 * dataset_result.sbp_sbph_agreement, 2
+            )

@@ -1,0 +1,34 @@
+"""Benchmark T3 — regenerate Table 3 (comparison with unsigned team formation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_table3
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_unsigned_baseline_compatibility(benchmark, config, team_context, team_tasks):
+    """Table 3: % of RarestFirst teams (ignore-sign / delete-negative) that are compatible."""
+    result = run_once(benchmark, run_table3, config, team_context, team_tasks)
+
+    print("\n" + result.as_text())
+    for projection, row in result.percentages.items():
+        # Paper shape: the compatible share grows as the relation relaxes, the
+        # strictest relation rejects (almost) every sign-blind team, and the
+        # relaxed relations accept a substantial share.
+        assert row["SPA"] <= row["SPM"] + 1e-9
+        assert row["SPM"] <= row["SPO"] + 1e-9
+        assert row["SPO"] <= row["NNE"] + 1e-9
+        assert row["SPA"] <= 40.0
+        benchmark.extra_info[projection] = {name: round(value, 1) for name, value in row.items()}
+
+    # Deleting negative edges can only help compatibility w.r.t. ignoring signs
+    # (allowing a small slack because the two projections may solve different tasks).
+    for relation in result.relations:
+        assert (
+            result.percentages["delete_negative"][relation]
+            >= result.percentages["ignore_sign"][relation] - 15.0
+        )

@@ -1,0 +1,90 @@
+"""Beyond team formation: clustering and sign prediction with structural balance.
+
+Run with::
+
+    python examples/balance_and_prediction.py
+
+The paper's conclusions propose exploiting compatibility "for other tasks,
+such as link prediction or clustering".  This example does both on the
+Wikipedia-like dataset:
+
+1. recover the two latent factions with the weak-balance partitioner and
+   measure how many edges the partition explains;
+2. predict the sign of held-out edges with four predictors — always-positive,
+   balanced triangle completion, shortest-path sign (Algorithm 1), and the
+   compatibility-based predictor built on the SPM relation.
+"""
+
+from __future__ import annotations
+
+from repro.compatibility import make_relation
+from repro.datasets import wikipedia_like
+from repro.signed import (
+    AlwaysPositivePredictor,
+    CompatibilityPredictor,
+    ShortestPathSignPredictor,
+    TriangleVotePredictor,
+    compare_predictors,
+    greedy_balance_partition,
+    partition_agreement,
+)
+from repro.signed.generators import planted_factions_graph
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    dataset = wikipedia_like(seed=19, scale=0.06)
+    graph = dataset.graph
+    print(f"Dataset: {dataset.name} — {graph.number_of_nodes()} users, "
+          f"{graph.number_of_edges()} edges "
+          f"({graph.number_of_negative_edges()} negative)\n")
+
+    # --- 1. Clustering: recover latent camps on a balance-consistent network ---
+    # (Two communities whose internal edges are friendly and whose cross edges
+    # are hostile, plus 8% sign noise — the setting weak balance describes.)
+    clustered_graph, planted = planted_factions_graph(
+        400, average_degree=8.0, num_factions=2, sign_noise=0.08, seed=29
+    )
+    partition, quality = greedy_balance_partition(
+        clustered_graph, num_clusters=2, restarts=3, seed=1
+    )
+    agreement = partition_agreement(partition, planted)
+    print("Weak-balance clustering (two planted camps, 8% sign noise):")
+    print(f"  frustrated edges: {quality.frustrated_edges}/{quality.total_edges} "
+          f"({100 * quality.frustration_ratio:.1f}%)")
+    print(f"  agreement with the planted camps: {100 * agreement:.1f}%\n")
+
+    # --- 2. Sign prediction on held-out edges ----------------------------------
+    reports = compare_predictors(
+        graph,
+        [
+            lambda g: AlwaysPositivePredictor(g),
+            lambda g: TriangleVotePredictor(g),
+            lambda g: ShortestPathSignPredictor(g),
+            lambda g: CompatibilityPredictor(g, lambda gg: make_relation("SPM", gg)),
+        ],
+        test_fraction=0.1,
+        max_test_edges=300,
+        seed=7,
+    )
+    rows = [
+        [report.predictor,
+         f"{100 * report.accuracy:.1f}",
+         f"{100 * report.positive_recall:.1f}",
+         f"{100 * report.negative_recall:.1f}"]
+        for report in reports
+    ]
+    print(format_table(
+        ["predictor", "accuracy %", "positive recall %", "negative recall %"],
+        rows,
+        title="Sign prediction on held-out edges",
+    ))
+    print(
+        "\nThe structure-aware predictors recover part of the negative edges that"
+        "\nthe majority-class baseline misses entirely (it never predicts a foe)"
+        "\n— the same balance signal the compatibility relations are built on."
+    )
+
+
+if __name__ == "__main__":
+    main()

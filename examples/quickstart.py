@@ -1,0 +1,66 @@
+"""Quickstart: form a compatible team on a small hand-crafted signed network.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example walks through the full public API in a few lines: load a dataset,
+pick a compatibility relation, describe a task, run a team-formation
+algorithm, and inspect / validate the resulting team.
+"""
+
+from __future__ import annotations
+
+from repro.compatibility import DistanceOracle, make_relation
+from repro.datasets import toy_dataset
+from repro.skills import Task
+from repro.teams import TeamFormationProblem, lcmd, validate_team
+
+
+def main() -> None:
+    # 1. A dataset bundles a signed graph and a user -> skills assignment.
+    dataset = toy_dataset()
+    graph = dataset.graph
+    print(f"Dataset: {dataset.name} — {graph.number_of_nodes()} users, "
+          f"{graph.number_of_edges()} edges "
+          f"({graph.number_of_negative_edges()} negative)")
+
+    # 2. Pick how strictly "able to work together" should be interpreted.
+    #    SPO = the pair is connected by at least one positive shortest path.
+    relation = make_relation("SPO", graph)
+
+    # 3. Describe the task as the set of skills it requires.
+    task = Task(["python", "databases", "design", "writing"], name="data-product")
+    print(f"Task {task.name!r} requires: {sorted(task.skills)}")
+
+    # 4. Solve it with LCMD (least-compatible skill first, closest user next).
+    problem = TeamFormationProblem(graph, dataset.skills, relation, task)
+    result = lcmd(problem)
+
+    if not result.solved:
+        print("No compatible team found under SPO.")
+        return
+
+    print(f"\nTeam found by {result.algorithm} (communication cost = {result.cost:g}):")
+    for member in sorted(result.team):
+        covered = sorted(dataset.skills.skills_of(member) & task.skills)
+        print(f"  {member:>4}: {', '.join(covered)}")
+
+    # 5. Validate the team explicitly: coverage + pairwise compatibility.
+    report = validate_team(result.team, task, dataset.skills, relation,
+                           oracle=DistanceOracle(relation))
+    print(f"\nCovers the task: {report.covers_task}")
+    print(f"Pairwise compatible: {report.is_compatible}")
+    print(f"Team diameter: {report.cost:g}")
+
+    # 6. Contrast with the strictest relation (DPE: direct friends only).
+    strict = make_relation("DPE", graph)
+    strict_result = lcmd(
+        TeamFormationProblem(graph, dataset.skills, strict, task)
+    )
+    print(f"\nUnder DPE (direct friends only) the same task is "
+          f"{'solvable' if strict_result.solved else 'not solvable'}.")
+
+
+if __name__ == "__main__":
+    main()

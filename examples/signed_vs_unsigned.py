@@ -1,0 +1,80 @@
+"""Why signs matter: classic team formation vs. signed-aware team formation.
+
+Run with::
+
+    python examples/signed_vs_unsigned.py
+
+This reproduces the message of the paper's Table 3 on a scenario: a studio
+staffs small project teams using the classic RarestFirst algorithm of Lappas
+et al., which only sees an unsigned collaboration graph.  We then audit those
+teams against the signed network (who actually gets along) and measure how
+many contain at least one pair of declared foes — and how the signed-aware
+LCMD algorithm avoids the problem at a modest cost increase.
+"""
+
+from __future__ import annotations
+
+from repro.compatibility import DistanceOracle, make_relation
+from repro.datasets import wikipedia_like
+from repro.skills.task import random_tasks
+from repro.teams import (
+    TeamFormationProblem,
+    fraction_of_compatible_teams,
+    lcmd,
+    run_unsigned_baseline,
+)
+from repro.utils.tables import format_table
+
+RELATIONS = ("SPA", "SPO", "SBPH", "NNE")
+NUM_TASKS = 25
+TASK_SIZE = 5
+
+
+def main() -> None:
+    dataset = wikipedia_like(seed=19, scale=0.06)
+    graph, skills = dataset.graph, dataset.skills
+    print(f"Dataset: {dataset.name} — {graph.number_of_nodes()} users, "
+          f"{graph.number_of_edges()} edges "
+          f"({graph.number_of_negative_edges()} negative)\n")
+
+    tasks = random_tasks(skills, size=TASK_SIZE, count=NUM_TASKS, seed=42)
+
+    # 1. Classic, sign-blind team formation on the two unsigned projections.
+    baseline_teams = {}
+    for projection in ("ignore_sign", "delete_negative"):
+        results = run_unsigned_baseline(graph, skills, tasks, projection)
+        baseline_teams[projection] = [entry.team for entry in results]
+
+    # 2. Audit those teams against the signed compatibility relations.
+    rows = []
+    for projection, teams in baseline_teams.items():
+        row = [projection.replace("_", " ")]
+        for relation_name in RELATIONS:
+            relation = make_relation(relation_name, graph)
+            compatible = fraction_of_compatible_teams(teams, relation)
+            row.append(f"{100 * compatible:.0f}%")
+        rows.append(row)
+    print(format_table(
+        ["unsigned baseline"] + list(RELATIONS),
+        rows,
+        title="Share of sign-blind teams that are actually compatible (Table 3 style)",
+    ))
+
+    # 3. Signed-aware formation under SPO: compatibility by construction.
+    relation = make_relation("SPO", graph)
+    oracle = DistanceOracle(relation)
+    solved = 0
+    total_cost = 0.0
+    for task in tasks:
+        problem = TeamFormationProblem(graph, skills, relation, task, oracle=oracle)
+        result = lcmd(problem, max_seeds=15)
+        if result.solved:
+            solved += 1
+            total_cost += result.cost
+    print(f"\nSigned-aware LCMD under SPO: solved {solved}/{len(tasks)} tasks, "
+          f"average diameter {total_cost / max(solved, 1):.2f}, "
+          "and every returned team is compatible by construction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Team-formation study on a larger signed network (the paper's Section 5 workload).
+
+Run with::
+
+    python examples/team_formation_study.py
+
+Scenario: an organisation of a few thousand reviewers (the Epinions-like
+stand-in) must staff review committees ("tasks") that need several product
+areas covered.  Relationships between reviewers are signed (past
+collaborations vs. public disputes), so the staffing tool must not put foes on
+the same committee.
+
+The script compares the paper's algorithms (LCMD, LCMC, RANDOM) across
+compatibility relations and task sizes and prints success rates and
+communication costs — a miniature version of Figure 2.
+"""
+
+from __future__ import annotations
+
+from repro.compatibility import DistanceOracle, SkillCompatibilityIndex, make_relation
+from repro.datasets import epinions_like
+from repro.skills.task import random_tasks
+from repro.teams import TeamFormationProblem, run_algorithm
+from repro.utils.tables import format_table
+
+RELATIONS = ("SPA", "SPO", "SBPH", "NNE")
+ALGORITHMS = ("LCMD", "LCMC", "RANDOM")
+NUM_TASKS = 20
+TASK_SIZE = 5
+
+
+def main() -> None:
+    dataset = epinions_like(seed=17, scale=0.03)
+    graph, skills = dataset.graph, dataset.skills
+    print(f"Dataset: {dataset.name} — {graph.number_of_nodes()} reviewers, "
+          f"{graph.number_of_edges()} signed relationships\n")
+
+    tasks = random_tasks(skills, size=TASK_SIZE, count=NUM_TASKS, seed=2020)
+
+    rows = []
+    for relation_name in RELATIONS:
+        relation = make_relation(relation_name, graph)
+        oracle = DistanceOracle(relation)
+        skill_index = SkillCompatibilityIndex(relation, skills)
+        row = [relation_name]
+        for algorithm in ALGORITHMS:
+            solved = 0
+            total_cost = 0.0
+            for task in tasks:
+                problem = TeamFormationProblem(
+                    graph, skills, relation, task, oracle=oracle, skill_index=skill_index
+                )
+                result = run_algorithm(algorithm, problem, max_seeds=15, seed=7)
+                if result.solved:
+                    solved += 1
+                    total_cost += result.cost
+            rate = 100.0 * solved / len(tasks)
+            cost = total_cost / solved if solved else float("nan")
+            row.append(f"{rate:.0f}% / {cost:.2f}")
+        rows.append(row)
+
+    headers = ["relation"] + [f"{algo} (%solved / avg diameter)" for algo in ALGORITHMS]
+    print(format_table(headers, rows, title=f"Committee staffing, {NUM_TASKS} tasks of {TASK_SIZE} skills"))
+    print(
+        "\nReading the table: stricter relations (top rows) solve fewer tasks;"
+        "\nLCMD keeps the communication cost lowest, matching Figure 2 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

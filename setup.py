@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` (and ``python setup.py develop``) also work on
+environments whose setuptools lacks PEP 660 editable-wheel support (e.g. no
+``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

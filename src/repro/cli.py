@@ -1,0 +1,144 @@
+"""Command-line interface for the library.
+
+Installed as ``repro-teams`` (see ``pyproject.toml``); also runnable as
+``python -m repro.cli``.  Sub-commands:
+
+* ``datasets`` — list the available datasets and their Table-1 statistics;
+* ``compatibility`` — print the compatibility statistics of one dataset;
+* ``team`` — form a team for a task given as a comma-separated skill list;
+* ``reproduce`` — run the full experiment suite (all tables and figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.compatibility import (
+    RELATION_NAMES,
+    DistanceOracle,
+    make_relation,
+    pair_statistics,
+)
+from repro.datasets import available, dataset_statistics, load_dataset
+from repro.experiments import default_config, fast_config, run_all
+from repro.skills import Task
+from repro.teams import ALGORITHM_NAMES, TeamFormationProblem, run_algorithm
+from repro.utils.tables import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-teams",
+        description="Forming compatible teams in signed networks (EDBT 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = subparsers.add_parser("datasets", help="list datasets and their statistics")
+    datasets_parser.add_argument("--seed", type=int, default=None, help="generation seed override")
+    datasets_parser.add_argument("--scale", type=float, default=None, help="scale override")
+
+    compat_parser = subparsers.add_parser(
+        "compatibility", help="compatibility statistics for one dataset"
+    )
+    compat_parser.add_argument("dataset", choices=sorted(available()))
+    compat_parser.add_argument(
+        "--relations",
+        default="SPA,SPM,SPO,SBPH,NNE",
+        help="comma-separated relation names (default: SPA,SPM,SPO,SBPH,NNE)",
+    )
+    compat_parser.add_argument("--seed", type=int, default=None)
+    compat_parser.add_argument("--scale", type=float, default=None)
+
+    team_parser = subparsers.add_parser("team", help="form a team for a task")
+    team_parser.add_argument("dataset", choices=sorted(available()))
+    team_parser.add_argument("skills", help="comma-separated list of required skills")
+    team_parser.add_argument("--relation", default="SPO", help=f"one of {list(RELATION_NAMES)}")
+    team_parser.add_argument("--algorithm", default="LCMD", help=f"one of {list(ALGORITHM_NAMES)}")
+    team_parser.add_argument("--seed", type=int, default=None)
+    team_parser.add_argument("--scale", type=float, default=None)
+
+    reproduce_parser = subparsers.add_parser("reproduce", help="run all tables and figures")
+    reproduce_parser.add_argument(
+        "--fast", action="store_true", help="use the miniature configuration"
+    )
+    return parser
+
+
+def _command_datasets(arguments: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(available()):
+        dataset = load_dataset(name, seed=arguments.seed, scale=arguments.scale)
+        stats = dataset_statistics(dataset)
+        rows.append(stats.as_row())
+    headers = ["dataset", "#users", "#edges", "#neg edges", "diameter", "#skills"]
+    print(format_table(headers, rows, title="Available datasets"))
+    return 0
+
+
+def _command_compatibility(arguments: argparse.Namespace) -> int:
+    dataset = load_dataset(arguments.dataset, seed=arguments.seed, scale=arguments.scale)
+    relation_names = [name.strip().upper() for name in arguments.relations.split(",") if name.strip()]
+    rows = []
+    for name in relation_names:
+        relation = make_relation(name, dataset.graph)
+        stats = pair_statistics(relation)
+        rows.append([name, f"{stats.percentage:.2f}", stats.evaluated_pairs, stats.sampled])
+    headers = ["relation", "compatible pairs %", "pairs evaluated", "sampled"]
+    print(format_table(headers, rows, title=f"Compatibility on {dataset.name}"))
+    return 0
+
+
+def _command_team(arguments: argparse.Namespace) -> int:
+    dataset = load_dataset(arguments.dataset, seed=arguments.seed, scale=arguments.scale)
+    skills = [skill.strip() for skill in arguments.skills.split(",") if skill.strip()]
+    if not skills:
+        print("error: the task needs at least one skill", file=sys.stderr)
+        return 2
+    relation = make_relation(arguments.relation, dataset.graph)
+    try:
+        problem = TeamFormationProblem(dataset.graph, dataset.skills, relation, Task(skills))
+    except Exception as error:  # surfacing InfeasibleTaskError and friends
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = run_algorithm(arguments.algorithm, problem)
+    if not result.solved:
+        print(
+            f"No compatible team found for {skills} under {relation.name} "
+            f"with {arguments.algorithm}."
+        )
+        return 1
+    members = sorted(result.team, key=repr)
+    print(f"Team ({len(members)} members, diameter {result.cost:g}) under {relation.name}:")
+    oracle = DistanceOracle(relation)
+    for member in members:
+        member_skills = sorted(
+            str(skill) for skill in dataset.skills.skills_of(member) if skill in problem.task
+        )
+        print(f"  {member}: covers {', '.join(member_skills) or '(support member)'}")
+    return 0
+
+
+def _command_reproduce(arguments: argparse.Namespace) -> int:
+    config = fast_config() if arguments.fast else default_config()
+    run_all(config)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    handlers = {
+        "datasets": _command_datasets,
+        "compatibility": _command_compatibility,
+        "team": _command_team,
+        "reproduce": _command_reproduce,
+    }
+    return handlers[arguments.command](arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

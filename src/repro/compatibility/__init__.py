@@ -1,0 +1,98 @@
+"""Compatibility relations between users of a signed network (Section 3 of the paper).
+
+The module exposes the six relations by the acronyms the paper uses and a
+small registry (:data:`RELATION_NAMES`, :func:`make_relation`) so experiments
+and the CLI can construct them generically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Type
+
+from repro.compatibility.base import CompatibilityRelation
+from repro.compatibility.balanced import (
+    HeuristicBalancedPathCompatibility,
+    StructurallyBalancedPathCompatibility,
+)
+from repro.compatibility.direct import (
+    DirectPositiveEdgeCompatibility,
+    NoNegativeEdgeCompatibility,
+)
+from repro.compatibility.distance import DistanceOracle, average_compatible_distance
+from repro.compatibility.matrix import (
+    CompatibilityMatrix,
+    PairStatistics,
+    exact_pair_statistics,
+    pair_statistics,
+    relation_overlap,
+    sampled_pair_statistics,
+    source_sampled_pair_statistics,
+)
+from repro.compatibility.shortest_path import (
+    AllShortestPathsCompatibility,
+    MajorityShortestPathsCompatibility,
+    OneShortestPathCompatibility,
+)
+from repro.compatibility.skill_compat import (
+    SkillCompatibilityIndex,
+    SkillPairStatistics,
+    skill_pair_statistics,
+    task_has_compatible_skills,
+)
+from repro.exceptions import UnknownRelationError
+from repro.signed.graph import SignedGraph
+
+#: Relation classes keyed by the acronyms used throughout the paper.
+RELATION_CLASSES: Dict[str, Type[CompatibilityRelation]] = {
+    "DPE": DirectPositiveEdgeCompatibility,
+    "SPA": AllShortestPathsCompatibility,
+    "SPM": MajorityShortestPathsCompatibility,
+    "SPO": OneShortestPathCompatibility,
+    "SBP": StructurallyBalancedPathCompatibility,
+    "SBPH": HeuristicBalancedPathCompatibility,
+    "NNE": NoNegativeEdgeCompatibility,
+}
+
+#: Relation names ordered from strictest to most relaxed (Proposition 3.5).
+RELATION_NAMES: Sequence[str] = ("DPE", "SPA", "SPM", "SPO", "SBPH", "SBP", "NNE")
+
+
+def make_relation(name: str, graph: SignedGraph, **kwargs) -> CompatibilityRelation:
+    """Instantiate the relation called ``name`` (case-insensitive) over ``graph``.
+
+    Extra keyword arguments are forwarded to the relation constructor (the
+    balanced-path relations accept ``max_path_length`` and ``max_expansions``).
+    """
+    key = name.upper()
+    relation_class = RELATION_CLASSES.get(key)
+    if relation_class is None:
+        raise UnknownRelationError(name)
+    return relation_class(graph, **kwargs)
+
+
+__all__ = [
+    "CompatibilityRelation",
+    "DirectPositiveEdgeCompatibility",
+    "NoNegativeEdgeCompatibility",
+    "AllShortestPathsCompatibility",
+    "MajorityShortestPathsCompatibility",
+    "OneShortestPathCompatibility",
+    "StructurallyBalancedPathCompatibility",
+    "HeuristicBalancedPathCompatibility",
+    "DistanceOracle",
+    "average_compatible_distance",
+    "CompatibilityMatrix",
+    "PairStatistics",
+    "exact_pair_statistics",
+    "sampled_pair_statistics",
+    "source_sampled_pair_statistics",
+    "pair_statistics",
+    "relation_overlap",
+    "SkillCompatibilityIndex",
+    "SkillPairStatistics",
+    "skill_pair_statistics",
+    "task_has_compatible_skills",
+    "RELATION_CLASSES",
+    "RELATION_NAMES",
+    "make_relation",
+]

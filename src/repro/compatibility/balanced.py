@@ -1,0 +1,110 @@
+"""Structurally balanced path compatibility: SBP (exact) and SBPH (heuristic).
+
+Definition 3.4 of the paper: ``(u, v)`` are SBP-compatible iff there exists a
+*positive* path between them whose induced subgraph is structurally balanced.
+Enumerating such paths is exponential in the worst case (the prefix property
+fails, Figure 1(b)), so the paper — and this module — also provides a
+heuristic, **SBPH**, that only considers paths satisfying the prefix property.
+
+Both relations additionally expose the length of the best positive balanced
+path found, which is the distance the team-formation cost uses under SBP/SBPH.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.compatibility.base import CompatibilityRelation
+from repro.signed.graph import NEGATIVE, Node, SignedGraph
+from repro.signed.paths import BalancedPathResult, BalancedPathSearch
+
+
+class _BalancedPathRelation(CompatibilityRelation):
+    """Shared machinery: one cached balanced-path search per source node."""
+
+    #: Whether the search is exhaustive (overridden by subclasses).
+    exact_search = True
+
+    def __init__(
+        self,
+        graph: SignedGraph,
+        max_path_length: Optional[int] = None,
+        max_expansions: int = 2_000_000,
+    ) -> None:
+        super().__init__(graph)
+        self._search = BalancedPathSearch(
+            graph, max_length=max_path_length, max_expansions=max_expansions
+        )
+        self._result_cache: Dict[Node, BalancedPathResult] = {}
+        self.max_path_length = max_path_length
+
+    def _search_from(self, source: Node) -> BalancedPathResult:
+        result = self._result_cache.get(source)
+        if result is None:
+            if self.exact_search:
+                result = self._search.search_exact(source)
+            else:
+                result = self._search.search_heuristic(source)
+            self._result_cache[source] = result
+        return result
+
+    def _clear_subclass_cache(self) -> None:
+        self._result_cache.clear()
+
+    def _compute_compatible_set(self, u: Node) -> Set[Node]:
+        result = self._search_from(u)
+        compatible = {
+            node
+            for node in result.positive_lengths
+            if node != u and self._pair_allowed(u, node)
+        }
+        return compatible
+
+    def positive_balanced_distance(self, u: Node, v: Node) -> float:
+        """Length of the best positive balanced path found from ``u`` to ``v``.
+
+        Returns ``inf`` when no such path was found.  This is the distance the
+        paper uses for the communication cost under SBP/SBPH.
+        """
+        self._require_nodes(u, v)
+        if u == v:
+            return 0.0
+        result = self._search_from(u)
+        return result.positive_length(v)
+
+    def _pair_allowed(self, u: Node, v: Node) -> bool:
+        """Enforce Negative Edge Incompatibility explicitly.
+
+        A positive balanced path between ``u`` and ``v`` cannot coexist with a
+        direct negative edge (the edge would close an unbalanced cycle), so
+        for the *exact* relation this check is redundant; the heuristic search
+        keeps it as a guard so SBPH always satisfies Property 2 even when its
+        path bookkeeping is approximate.
+        """
+        if self._graph.has_edge(u, v) and self._graph.sign(u, v) == NEGATIVE:
+            return False
+        return True
+
+
+class StructurallyBalancedPathCompatibility(_BalancedPathRelation):
+    """SBP: exact (exhaustive) structurally balanced positive path search.
+
+    Worst-case exponential; intended for small graphs, mirroring the paper
+    (which reports SBP only on Slashdot).  ``max_expansions`` bounds the work
+    per source; if the bound is hit the relation under-approximates and the
+    per-source result is flagged ``truncated``.
+    """
+
+    name = "SBP"
+    exact_search = True
+
+    def truncated_sources(self) -> Set[Node]:
+        """Sources whose exact search hit the expansion cap (results partial)."""
+        return {source for source, result in self._result_cache.items() if result.truncated}
+
+
+class HeuristicBalancedPathCompatibility(_BalancedPathRelation):
+    """SBPH: heuristic search restricted to prefix-property balanced paths."""
+
+    name = "SBPH"
+    exact_search = False

@@ -1,0 +1,147 @@
+"""The abstract compatibility relation ``Comp ⊆ V × V``.
+
+Section 2 of the paper requires every compatibility relation to be reflexive
+and symmetric and to satisfy two properties:
+
+* **Positive Edge Compatibility** — endpoints of a positive edge are compatible;
+* **Negative Edge Incompatibility** — endpoints of a negative edge are not.
+
+:class:`CompatibilityRelation` encodes that contract.  Concrete relations are
+bound to a :class:`~repro.signed.graph.SignedGraph` at construction time and
+answer two queries:
+
+* :meth:`are_compatible` — is the pair ``(u, v)`` in the relation?
+* :meth:`compatible_with` — the set of nodes compatible with ``u`` (used by
+  the "most compatible" team-formation policy and by the pairwise statistics).
+
+Implementations cache whatever per-source computation they need (a signed BFS,
+a balanced-path search, ...), so repeated queries from the same source are
+cheap.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.exceptions import NodeNotFoundError
+from repro.signed.graph import NEGATIVE, POSITIVE, Node, SignedGraph
+
+
+class CompatibilityRelation(abc.ABC):
+    """Base class for every compatibility relation.
+
+    Parameters
+    ----------
+    graph:
+        The signed graph the relation is defined over.
+    """
+
+    #: Short name used in the paper's tables (e.g. ``"SPA"``); set by subclasses.
+    name: str = "ABSTRACT"
+
+    def __init__(self, graph: SignedGraph) -> None:
+        self._graph = graph
+        self._compatible_cache: Dict[Node, FrozenSet[Node]] = {}
+
+    @property
+    def graph(self) -> SignedGraph:
+        """The signed graph this relation is bound to."""
+        return self._graph
+
+    # ----------------------------------------------------------------- public
+
+    def are_compatible(self, u: Node, v: Node) -> bool:
+        """True iff ``(u, v)`` belongs to the relation.
+
+        Reflexive by construction: ``are_compatible(u, u)`` is always ``True``
+        for nodes in the graph.
+        """
+        self._require_nodes(u, v)
+        if u == v:
+            return True
+        return v in self.compatible_with(u)
+
+    def compatible_with(self, u: Node) -> FrozenSet[Node]:
+        """The set of nodes compatible with ``u`` (always contains ``u``)."""
+        if u not in self._graph:
+            raise NodeNotFoundError(u)
+        cached = self._compatible_cache.get(u)
+        if cached is None:
+            computed = set(self._compute_compatible_set(u))
+            computed.add(u)
+            cached = frozenset(computed)
+            self._compatible_cache[u] = cached
+        return cached
+
+    def compatibility_degree(self, u: Node) -> int:
+        """Number of *other* nodes compatible with ``u``."""
+        return len(self.compatible_with(u)) - 1
+
+    def all_compatible(self, nodes: Iterable[Node]) -> bool:
+        """True iff every pair of ``nodes`` is compatible (the team condition)."""
+        node_list = list(nodes)
+        for index, u in enumerate(node_list):
+            compatible = self.compatible_with(u)
+            for v in node_list[index + 1 :]:
+                if v not in compatible:
+                    return False
+        return True
+
+    def incompatible_pairs(self, nodes: Iterable[Node]) -> Iterator[Tuple[Node, Node]]:
+        """Yield the incompatible pairs among ``nodes`` (useful for diagnostics)."""
+        node_list = list(nodes)
+        for index, u in enumerate(node_list):
+            compatible = self.compatible_with(u)
+            for v in node_list[index + 1 :]:
+                if v not in compatible:
+                    yield (u, v)
+
+    def clear_cache(self) -> None:
+        """Drop all cached per-source computations (call after mutating the graph)."""
+        self._compatible_cache.clear()
+        self._clear_subclass_cache()
+
+    # ----------------------------------------------------- property validation
+
+    def satisfies_positive_edge_compatibility(self) -> bool:
+        """Check Property 1 of the paper on every positive edge of the graph."""
+        return all(
+            self.are_compatible(u, v)
+            for u, v, sign in self._graph.edge_triples()
+            if sign == POSITIVE
+        )
+
+    def satisfies_negative_edge_incompatibility(self) -> bool:
+        """Check Property 2 of the paper on every negative edge of the graph."""
+        return not any(
+            self.are_compatible(u, v)
+            for u, v, sign in self._graph.edge_triples()
+            if sign == NEGATIVE
+        )
+
+    def is_valid_relation(self) -> bool:
+        """Check both required properties (exhaustively, edge by edge)."""
+        return (
+            self.satisfies_positive_edge_compatibility()
+            and self.satisfies_negative_edge_incompatibility()
+        )
+
+    # --------------------------------------------------------------- subclass
+
+    @abc.abstractmethod
+    def _compute_compatible_set(self, u: Node) -> Set[Node]:
+        """Return the nodes compatible with ``u`` (``u`` itself may be omitted)."""
+
+    def _clear_subclass_cache(self) -> None:
+        """Hook for subclasses that keep extra caches."""
+
+    # ---------------------------------------------------------------- helpers
+
+    def _require_nodes(self, *nodes: Node) -> None:
+        for node in nodes:
+            if node not in self._graph:
+                raise NodeNotFoundError(node)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(graph={self._graph!r})"

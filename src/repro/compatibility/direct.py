@@ -1,0 +1,47 @@
+"""The two edge-based compatibility relations: DPE and NNE (Definitions 3.1, 3.2).
+
+* **DPE** (Direct Positive Edge) — the strictest relation: only pairs joined
+  by a positive edge are compatible.  Teams under DPE are cliques of friends.
+* **NNE** (No Negative Edge) — the most relaxed relation: every pair is
+  compatible unless it is joined by a negative edge.
+
+These are respectively the minimal relation satisfying Positive Edge
+Compatibility and the maximal relation satisfying Negative Edge
+Incompatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.compatibility.base import CompatibilityRelation
+from repro.signed.graph import NEGATIVE, Node
+
+
+class DirectPositiveEdgeCompatibility(CompatibilityRelation):
+    """DPE: ``(u, v)`` compatible iff the edge ``(u, v, +1)`` exists."""
+
+    name = "DPE"
+
+    def _compute_compatible_set(self, u: Node) -> Set[Node]:
+        return set(self._graph.positive_neighbors(u))
+
+
+class NoNegativeEdgeCompatibility(CompatibilityRelation):
+    """NNE: ``(u, v)`` compatible iff there is no edge ``(u, v, -1)``."""
+
+    name = "NNE"
+
+    def _compute_compatible_set(self, u: Node) -> Set[Node]:
+        enemies = set(self._graph.negative_neighbors(u))
+        return {node for node in self._graph.nodes() if node != u and node not in enemies}
+
+    def are_compatible(self, u: Node, v: Node) -> bool:
+        # Overridden to avoid materialising the (almost complete) compatible
+        # set for a single pair query on large graphs.
+        self._require_nodes(u, v)
+        if u == v:
+            return True
+        if self._graph.has_edge(u, v):
+            return self._graph.sign(u, v) != NEGATIVE
+        return True

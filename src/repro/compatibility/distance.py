@@ -1,0 +1,150 @@
+"""Distances between users, per compatibility relation (Section 4 of the paper).
+
+The communication cost of a team is defined on pairwise distances, and the
+paper defines the distance *per relation*:
+
+* **DPE, SPA, SPM, SPO** — the length of the shortest path between the users
+  (for compatible pairs a positive shortest path of that length exists);
+* **SBP, SBPH** — the length of the shortest positive structurally balanced
+  path (exact or heuristic, matching the relation);
+* **NNE** — the length of the shortest path ignoring signs (there may be no
+  positive path at all).
+
+:class:`DistanceOracle` hides these differences behind a single ``distance``
+call and caches one single-source computation per queried source node.  The
+"avg distance" row of Table 2 is the mean oracle distance over compatible
+pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.compatibility.balanced import _BalancedPathRelation
+from repro.compatibility.base import CompatibilityRelation
+from repro.signed.graph import Node, SignedGraph
+from repro.signed.paths import INFINITY, shortest_path_lengths
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import require_positive
+
+
+class DistanceOracle:
+    """Pairwise user distances consistent with a compatibility relation."""
+
+    def __init__(self, relation: CompatibilityRelation) -> None:
+        self._relation = relation
+        self._graph = relation.graph
+        self._bfs_cache: Dict[Node, Dict[Node, int]] = {}
+
+    @property
+    def relation(self) -> CompatibilityRelation:
+        """The compatibility relation whose distance definition is used."""
+        return self._relation
+
+    def distance(self, u: Node, v: Node) -> float:
+        """Distance from ``u`` to ``v`` under the relation's definition.
+
+        Returns ``inf`` when the relevant kind of path does not exist (e.g. no
+        positive balanced path under SBP, or disconnected nodes under NNE).
+        """
+        if u == v:
+            return 0.0
+        if isinstance(self._relation, _BalancedPathRelation):
+            return self._relation.positive_balanced_distance(u, v)
+        lengths = self._shortest_paths_from(u)
+        return float(lengths.get(v, INFINITY))
+
+    def max_pairwise_distance(self, nodes: Iterable[Node]) -> float:
+        """Largest pairwise distance among ``nodes`` (the team's communication cost)."""
+        node_list = list(nodes)
+        best = 0.0
+        for index, u in enumerate(node_list):
+            for v in node_list[index + 1 :]:
+                best = max(best, self.distance(u, v))
+                if best == INFINITY:
+                    return INFINITY
+        return best
+
+    def sum_pairwise_distance(self, nodes: Iterable[Node]) -> float:
+        """Sum of pairwise distances among ``nodes`` (alternative cost function)."""
+        node_list = list(nodes)
+        total = 0.0
+        for index, u in enumerate(node_list):
+            for v in node_list[index + 1 :]:
+                distance = self.distance(u, v)
+                if distance == INFINITY:
+                    return INFINITY
+                total += distance
+        return total
+
+    def distance_to_set(self, node: Node, team: Iterable[Node]) -> float:
+        """Largest distance from ``node`` to any member of ``team`` (0 for an empty team).
+
+        Distances are queried *from the team members* so that their cached
+        single-source computations are reused across the many candidate nodes
+        the team-formation policies evaluate.
+        """
+        best = 0.0
+        for member in team:
+            best = max(best, self.distance(member, node))
+            if best == INFINITY:
+                return INFINITY
+        return best
+
+    def _shortest_paths_from(self, source: Node) -> Dict[Node, int]:
+        lengths = self._bfs_cache.get(source)
+        if lengths is None:
+            lengths = shortest_path_lengths(self._graph, source)
+            self._bfs_cache[source] = lengths
+        return lengths
+
+
+def average_compatible_distance(
+    relation: CompatibilityRelation,
+    oracle: Optional[DistanceOracle] = None,
+    max_exact_nodes: int = 500,
+    num_sampled_sources: int = 200,
+    seed: RandomState = None,
+) -> Tuple[float, int]:
+    """Average distance over compatible pairs (the "avg distance" row of Table 2).
+
+    Returns ``(average, pairs_counted)``; the average is ``0.0`` when no
+    compatible pair with a finite distance was evaluated.  Small graphs are
+    enumerated exhaustively; larger graphs are estimated by averaging over all
+    compatible pairs anchored at ``num_sampled_sources`` random source nodes
+    (the same sampling scheme as
+    :func:`repro.compatibility.matrix.source_sampled_pair_statistics`).
+    """
+    oracle = oracle or DistanceOracle(relation)
+    nodes = relation.graph.nodes()
+    if len(nodes) < 2:
+        return 0.0, 0
+
+    total = 0.0
+    count = 0
+    if len(nodes) <= max_exact_nodes:
+        for index, u in enumerate(nodes):
+            compatible = relation.compatible_with(u)
+            for v in nodes[index + 1 :]:
+                if v not in compatible:
+                    continue
+                distance = oracle.distance(u, v)
+                if distance != INFINITY:
+                    total += distance
+                    count += 1
+    else:
+        require_positive(num_sampled_sources, "num_sampled_sources")
+        rng = ensure_rng(seed)
+        sources = rng.sample(nodes, min(num_sampled_sources, len(nodes)))
+        for u in sources:
+            compatible = relation.compatible_with(u)
+            for v in compatible:
+                if v == u:
+                    continue
+                distance = oracle.distance(u, v)
+                if distance != INFINITY:
+                    total += distance
+                    count += 1
+    if count == 0:
+        return 0.0, 0
+    return total / count, count

@@ -1,0 +1,97 @@
+"""Shortest-path compatibility relations: SPA, SPM, SPO (Definition 3.3).
+
+All three are computed from the output of **Algorithm 1**
+(:func:`repro.signed.paths.signed_bfs`), which counts the positive and
+negative shortest paths from a query node to every other node in one BFS:
+
+* **SPA** — *all* shortest paths between the pair are positive;
+* **SPM** — at least as many positive as negative shortest paths (majority);
+* **SPO** — at least *one* positive shortest path exists.
+
+The per-source BFS result is cached, so computing the compatible set of a node
+and then asking pair queries from the same node costs a single BFS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.compatibility.base import CompatibilityRelation
+from repro.signed.graph import Node, SignedGraph
+from repro.signed.paths import SignedBFSResult, signed_bfs
+
+
+class _ShortestPathRelation(CompatibilityRelation):
+    """Shared machinery: one cached signed BFS per source node."""
+
+    def __init__(self, graph: SignedGraph) -> None:
+        super().__init__(graph)
+        self._bfs_cache: Dict[Node, SignedBFSResult] = {}
+
+    def _bfs(self, source: Node) -> SignedBFSResult:
+        result = self._bfs_cache.get(source)
+        if result is None:
+            result = signed_bfs(self._graph, source)
+            self._bfs_cache[source] = result
+        return result
+
+    def _clear_subclass_cache(self) -> None:
+        self._bfs_cache.clear()
+
+    def _compute_compatible_set(self, u: Node) -> Set[Node]:
+        result = self._bfs(u)
+        compatible: Set[Node] = set()
+        for node in result.lengths:
+            if node == u:
+                continue
+            positive, negative = result.counts(node)
+            if self._pair_rule(positive, negative):
+                compatible.add(node)
+        return compatible
+
+    def are_compatible(self, u: Node, v: Node) -> bool:
+        # Use the cached BFS directly instead of materialising the whole
+        # compatible set when only pair queries are needed.
+        self._require_nodes(u, v)
+        if u == v:
+            return True
+        source, target = (u, v) if u in self._bfs_cache or v not in self._bfs_cache else (v, u)
+        result = self._bfs(source)
+        if not result.reachable(target):
+            return False
+        positive, negative = result.counts(target)
+        return self._pair_rule(positive, negative)
+
+    @staticmethod
+    def _pair_rule(positive: int, negative: int) -> bool:
+        raise NotImplementedError
+
+
+class AllShortestPathsCompatibility(_ShortestPathRelation):
+    """SPA: every shortest path between the pair is positive."""
+
+    name = "SPA"
+
+    @staticmethod
+    def _pair_rule(positive: int, negative: int) -> bool:
+        return positive > 0 and negative == 0
+
+
+class MajorityShortestPathsCompatibility(_ShortestPathRelation):
+    """SPM: at least as many positive as negative shortest paths."""
+
+    name = "SPM"
+
+    @staticmethod
+    def _pair_rule(positive: int, negative: int) -> bool:
+        return positive > 0 and positive >= negative
+
+
+class OneShortestPathCompatibility(_ShortestPathRelation):
+    """SPO: at least one shortest path between the pair is positive."""
+
+    name = "SPO"
+
+    @staticmethod
+    def _pair_rule(positive: int, negative: int) -> bool:
+        return positive > 0

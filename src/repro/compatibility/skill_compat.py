@@ -1,0 +1,188 @@
+"""Skill compatibility degrees (Section 4 and the "comp. skills" rows of Table 2).
+
+The paper defines the compatibility degree of a pair of skills as the number
+of compatible user pairs possessing them:
+
+    cd(s_i, s_j) = |{(u_i, u_j) : (u_i, u_j) ∈ Comp, s_i ∈ skills(u_i), s_j ∈ skills(u_j)}|
+
+and the compatibility degree of a single skill as the sum over all other
+skills: ``cd(s) = Σ_{s_j ≠ s} cd(s, s_j)``.  Two skills are *compatible* when
+``cd(s_1, s_2) > 0``, i.e. at least one compatible user pair covers them
+(including a single user possessing both — "self-compatibility").
+
+These quantities drive the "least compatible skill first" selection policy and
+the skill-pair percentages of Table 2.  Because exact ``cd`` values require a
+pass over all user pairs with the relevant skills, results are cached per
+skill pair.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from repro.compatibility.base import CompatibilityRelation
+from repro.skills.assignment import Skill, SkillAssignment
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class SkillPairStatistics:
+    """Fraction of skill pairs with at least one compatible user pair."""
+
+    relation_name: str
+    compatible_skill_pairs: int
+    evaluated_skill_pairs: int
+    sampled: bool
+
+    @property
+    def fraction(self) -> float:
+        """Compatible fraction in ``[0, 1]`` (0.0 when nothing was evaluated)."""
+        if self.evaluated_skill_pairs == 0:
+            return 0.0
+        return self.compatible_skill_pairs / self.evaluated_skill_pairs
+
+    @property
+    def percentage(self) -> float:
+        """Compatible fraction as a percentage, as printed in the paper."""
+        return 100.0 * self.fraction
+
+
+class SkillCompatibilityIndex:
+    """Cached skill-pair and per-skill compatibility degrees for one relation."""
+
+    def __init__(
+        self,
+        relation: CompatibilityRelation,
+        assignment: SkillAssignment,
+        count_cap: Optional[int] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        relation:
+            The user-level compatibility relation.
+        assignment:
+            The user ↔ skill assignment.
+        count_cap:
+            Optional cap on the counted pairs per skill pair.  The team
+            formation policy only needs the *ordering* of degrees (and Table 2
+            only needs ``> 0``), so capping the count bounds the worst-case
+            work on very frequent skills without changing either consumer.
+        """
+        self._relation = relation
+        self._assignment = assignment
+        self._count_cap = count_cap
+        self._pair_cache: Dict[FrozenSet[Skill], int] = {}
+
+    @property
+    def relation(self) -> CompatibilityRelation:
+        """The user-level relation the index is built on."""
+        return self._relation
+
+    @property
+    def assignment(self) -> SkillAssignment:
+        """The skill assignment the index is built on."""
+        return self._assignment
+
+    def pair_degree(self, skill_a: Skill, skill_b: Skill) -> int:
+        """``cd(skill_a, skill_b)``: number of compatible user pairs covering the two skills.
+
+        A single user possessing both skills counts as a (self-)compatible
+        pair, matching the paper's footnote on self-compatibility.
+        """
+        key = frozenset((skill_a, skill_b))
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+        count = self._count_pair_degree(skill_a, skill_b)
+        self._pair_cache[key] = count
+        return count
+
+    def skills_compatible(self, skill_a: Skill, skill_b: Skill) -> bool:
+        """True iff ``cd(skill_a, skill_b) > 0``."""
+        return self.pair_degree(skill_a, skill_b) > 0
+
+    def skill_degree(self, skill: Skill, others: Optional[Iterable[Skill]] = None) -> int:
+        """``cd(skill)``: sum of pair degrees against ``others`` (default: all other skills)."""
+        if others is None:
+            others = self._assignment.skills()
+        return sum(self.pair_degree(skill, other) for other in others if other != skill)
+
+    def rank_skills_by_degree(self, skills: Iterable[Skill]) -> List[Skill]:
+        """Sort ``skills`` by ascending compatibility degree (least compatible first).
+
+        Degrees are computed *within* the provided skill set, which is what
+        the team-formation policy needs (the remaining uncovered skills).
+        Ties are broken by skill name for determinism.
+        """
+        skill_list = list(skills)
+        degrees = {
+            skill: self.skill_degree(skill, others=skill_list) for skill in skill_list
+        }
+        return sorted(skill_list, key=lambda skill: (degrees[skill], str(skill)))
+
+    # --------------------------------------------------------------- internals
+
+    def _count_pair_degree(self, skill_a: Skill, skill_b: Skill) -> int:
+        users_a = self._assignment.users_with(skill_a)
+        users_b = self._assignment.users_with(skill_b)
+        # Iterate the smaller side outermost so the per-user compatible set is
+        # fetched (and cached) for fewer users.
+        if len(users_b) < len(users_a):
+            users_a, users_b = users_b, users_a
+        count = 0
+        for user_a in users_a:
+            compatible = self._relation.compatible_with(user_a)
+            for user_b in users_b:
+                if user_b == user_a or user_b in compatible:
+                    count += 1
+                    if self._count_cap is not None and count >= self._count_cap:
+                        return count
+        return count
+
+
+def skill_pair_statistics(
+    index: SkillCompatibilityIndex,
+    max_exact_skills: int = 600,
+    num_sampled_pairs: int = 5_000,
+    seed: RandomState = None,
+) -> SkillPairStatistics:
+    """Fraction of skill pairs that are compatible (Table 2, "comp. skills").
+
+    Small skill universes are enumerated exhaustively; larger ones are
+    estimated from a uniform sample of skill pairs.
+    """
+    skills = index.assignment.skills()
+    if len(skills) < 2:
+        return SkillPairStatistics(index.relation.name, 0, 0, sampled=False)
+    if len(skills) <= max_exact_skills:
+        pairs = list(itertools.combinations(skills, 2))
+        sampled = False
+    else:
+        require_positive(num_sampled_pairs, "num_sampled_pairs")
+        rng = ensure_rng(seed)
+        pairs = [tuple(rng.sample(skills, 2)) for _ in range(num_sampled_pairs)]
+        sampled = True
+    compatible = sum(1 for a, b in pairs if index.skills_compatible(a, b))
+    return SkillPairStatistics(
+        relation_name=index.relation.name,
+        compatible_skill_pairs=compatible,
+        evaluated_skill_pairs=len(pairs),
+        sampled=sampled,
+    )
+
+
+def task_has_compatible_skills(index: SkillCompatibilityIndex, skills: Iterable[Skill]) -> bool:
+    """True iff every pair of task skills is compatible.
+
+    This is the "MAX" upper bound of Figure 2(a): a necessary (not sufficient)
+    condition for a compatible team covering the task to exist.
+    """
+    skill_list = list(skills)
+    for skill_a, skill_b in itertools.combinations(skill_list, 2):
+        if not index.skills_compatible(skill_a, skill_b):
+            return False
+    return True

@@ -1,0 +1,40 @@
+"""Datasets: synthetic stand-ins for the paper's networks, loaders, statistics."""
+
+from repro.datasets.synthetic import (
+    SignedDataset,
+    epinions_like,
+    faction_biased_signs,
+    figure_1a_graph,
+    figure_1b_graph,
+    slashdot_like,
+    synthetic_signed_network,
+    toy_dataset,
+    wikipedia_like,
+)
+from repro.datasets.registry import (
+    PAPER_DATASETS,
+    available,
+    load_dataset,
+    register_dataset,
+)
+from repro.datasets.loaders import load_snap_dataset
+from repro.datasets.stats import DatasetStatistics, dataset_statistics
+
+__all__ = [
+    "SignedDataset",
+    "slashdot_like",
+    "epinions_like",
+    "wikipedia_like",
+    "toy_dataset",
+    "figure_1a_graph",
+    "figure_1b_graph",
+    "synthetic_signed_network",
+    "faction_biased_signs",
+    "PAPER_DATASETS",
+    "available",
+    "load_dataset",
+    "register_dataset",
+    "load_snap_dataset",
+    "DatasetStatistics",
+    "dataset_statistics",
+]

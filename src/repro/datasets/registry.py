@@ -1,0 +1,63 @@
+"""Dataset registry: look up the paper's datasets (or their stand-ins) by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.datasets.synthetic import (
+    SignedDataset,
+    epinions_like,
+    slashdot_like,
+    toy_dataset,
+    wikipedia_like,
+)
+from repro.exceptions import UnknownDatasetError
+from repro.utils.rng import RandomState
+
+#: Factory functions keyed by dataset name.  Every factory accepts ``seed``
+#: and ``scale`` keyword arguments (``toy`` ignores ``scale``).
+_FACTORIES: Dict[str, Callable[..., SignedDataset]] = {
+    "toy": lambda seed=7, scale=1.0: toy_dataset(seed=seed),
+    "slashdot": lambda seed=13, scale=1.0: slashdot_like(seed=seed, scale=scale),
+    "epinions": lambda seed=17, scale=0.08: epinions_like(seed=seed, scale=scale),
+    "wikipedia": lambda seed=19, scale=0.15: wikipedia_like(seed=seed, scale=scale),
+}
+
+#: The three datasets the paper evaluates on, in Table-1 order.
+PAPER_DATASETS = ("slashdot", "epinions", "wikipedia")
+
+
+def available() -> List[str]:
+    """Names of all registered datasets."""
+    return sorted(_FACTORIES)
+
+
+def load_dataset(
+    name: str,
+    seed: RandomState = None,
+    scale: Optional[float] = None,
+) -> SignedDataset:
+    """Load (generate) the dataset called ``name``.
+
+    ``seed`` and ``scale`` override the dataset's defaults when given; the
+    defaults are chosen so that the whole experiment suite runs in minutes.
+    """
+    key = name.lower()
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        raise UnknownDatasetError(name)
+    kwargs = {}
+    if seed is not None:
+        kwargs["seed"] = seed
+    if scale is not None:
+        kwargs["scale"] = scale
+    return factory(**kwargs)
+
+
+def register_dataset(name: str, factory: Callable[..., SignedDataset]) -> None:
+    """Register a custom dataset factory (e.g. a loader for the real SNAP files).
+
+    The factory must accept ``seed`` and ``scale`` keyword arguments (it may
+    ignore them).  Registering an existing name overwrites it.
+    """
+    _FACTORIES[name.lower()] = factory

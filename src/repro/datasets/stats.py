@@ -1,0 +1,63 @@
+"""Dataset-level statistics (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.datasets.synthetic import SignedDataset
+from repro.signed.metrics import graph_statistics
+from repro.skills.stats import skill_statistics
+from repro.utils.rng import RandomState
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """One row of Table 1: users, edges, negative edges, diameter, skills."""
+
+    name: str
+    num_users: int
+    num_edges: int
+    num_negative_edges: int
+    negative_fraction: float
+    diameter: Optional[int]
+    num_skills: int
+    average_skills_per_user: float
+
+    def as_row(self) -> List[object]:
+        """Render as a table row in the paper's column order."""
+        negative = f"{self.num_negative_edges} ({100.0 * self.negative_fraction:.1f}%)"
+        return [
+            self.name,
+            self.num_users,
+            self.num_edges,
+            negative,
+            self.diameter,
+            self.num_skills,
+        ]
+
+
+def dataset_statistics(
+    dataset: SignedDataset,
+    diameter_sample_sources: Optional[int] = None,
+    seed: RandomState = None,
+) -> DatasetStatistics:
+    """Compute the Table-1 statistics for ``dataset``.
+
+    For large graphs pass ``diameter_sample_sources`` to estimate the diameter
+    from a sample of BFS sources instead of all of them.
+    """
+    graph_stats = graph_statistics(
+        dataset.graph, diameter_sample_sources=diameter_sample_sources, seed=seed
+    )
+    skills_stats = skill_statistics(dataset.skills)
+    return DatasetStatistics(
+        name=dataset.name,
+        num_users=graph_stats.num_nodes,
+        num_edges=graph_stats.num_edges,
+        num_negative_edges=graph_stats.num_negative_edges,
+        negative_fraction=graph_stats.negative_fraction,
+        diameter=graph_stats.diameter,
+        num_skills=skills_stats.num_skills,
+        average_skills_per_user=skills_stats.average_skills_per_user,
+    )

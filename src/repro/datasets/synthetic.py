@@ -1,0 +1,438 @@
+"""Synthetic stand-ins for the paper's datasets (Slashdot, Epinions, Wikipedia).
+
+The real datasets are signed networks from SNAP joined with per-user category
+information; they cannot be downloaded in this offline environment, so this
+module generates graphs that match the published statistics in Table 1 —
+number of users and edges, fraction of negative edges, small diameter, number
+of skills and Zipf-distributed skill frequencies — using a *faction-biased*
+sign model: most negative edges run between two latent factions, so the signs
+are largely consistent with structural balance, as they are in the real
+networks.  Epinions and Wikipedia are generated at a reduced scale by default
+(configurable via ``scale``) so the full experiment suite runs in minutes on a
+laptop; the generator keeps the average degree and the negative-edge fraction
+of the originals.
+
+Every generator is deterministic given its ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.signed.components import largest_connected_component
+from repro.signed.graph import NEGATIVE, POSITIVE, Node, SignedGraph
+from repro.skills.assignment import SkillAssignment
+from repro.skills.generators import assign_skills_zipf
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import require_positive, require_probability
+
+
+@dataclass
+class SignedDataset:
+    """A signed network together with its skill assignment.
+
+    Attributes
+    ----------
+    name:
+        Dataset name (e.g. ``"slashdot"``).
+    graph:
+        The signed graph (connected — restricted to its largest component).
+    skills:
+        The user ↔ skill assignment.
+    factions:
+        The planted faction of each node (synthetic datasets only).
+    description:
+        Human-readable provenance, including what the dataset stands in for.
+    """
+
+    name: str
+    graph: SignedGraph
+    skills: SkillAssignment
+    factions: Dict[Node, int] = field(default_factory=dict)
+    description: str = ""
+
+    def __repr__(self) -> str:
+        return (
+            f"SignedDataset(name={self.name!r}, users={self.graph.number_of_nodes()}, "
+            f"edges={self.graph.number_of_edges()}, skills={self.skills.number_of_skills()})"
+        )
+
+
+def faction_biased_signs(
+    graph_edges: List[Tuple[Node, Node]],
+    factions: Dict[Node, int],
+    negative_fraction: float,
+    cross_faction_bias: float = 0.9,
+    seed: RandomState = None,
+) -> SignedGraph:
+    """Assign signs so that a target fraction of edges is negative, biased to cross-faction edges.
+
+    Parameters
+    ----------
+    graph_edges:
+        The unsigned edge list.
+    factions:
+        Node -> faction index.
+    negative_fraction:
+        Target fraction of negative edges (matched exactly up to rounding).
+    cross_faction_bias:
+        Fraction of the negative edges drawn from cross-faction edges (the
+        rest are "noise" negatives inside a faction).  ``1.0`` gives signs as
+        consistent with the planted partition as the edge supply allows.
+    seed:
+        Seed / generator for reproducibility.
+    """
+    require_probability(negative_fraction, "negative_fraction")
+    require_probability(cross_faction_bias, "cross_faction_bias")
+    rng = ensure_rng(seed)
+    cross = [edge for edge in graph_edges if factions[edge[0]] != factions[edge[1]]]
+    intra = [edge for edge in graph_edges if factions[edge[0]] == factions[edge[1]]]
+
+    target_negative = int(round(negative_fraction * len(graph_edges)))
+    negative_cross = min(len(cross), int(round(cross_faction_bias * target_negative)))
+    negative_intra = min(len(intra), target_negative - negative_cross)
+    # If one side ran short, top the other side up so the total still matches.
+    shortfall = target_negative - negative_cross - negative_intra
+    if shortfall > 0:
+        extra_cross = min(shortfall, len(cross) - negative_cross)
+        negative_cross += extra_cross
+        shortfall -= extra_cross
+        negative_intra += min(shortfall, len(intra) - negative_intra)
+
+    negative_edges = set()
+    if negative_cross:
+        negative_edges.update(
+            frozenset(edge) for edge in rng.sample(cross, negative_cross)
+        )
+    if negative_intra:
+        negative_edges.update(
+            frozenset(edge) for edge in rng.sample(intra, negative_intra)
+        )
+
+    graph = SignedGraph()
+    for node in factions:
+        graph.add_node(node)
+    for u, v in graph_edges:
+        if u == v:
+            continue
+        sign = NEGATIVE if frozenset((u, v)) in negative_edges else POSITIVE
+        graph.add_edge(u, v, sign)
+    return graph
+
+
+def synthetic_signed_network(
+    num_nodes: int,
+    average_degree: float,
+    negative_fraction: float,
+    num_factions: int = 2,
+    faction_sizes: Optional[List[float]] = None,
+    cross_faction_bias: float = 0.9,
+    topology: str = "scale_free",
+    seed: RandomState = None,
+) -> Tuple[SignedGraph, Dict[Node, int]]:
+    """Generate a connected signed network with a target negative-edge fraction.
+
+    The topology is generated first (scale-free by default, like real social
+    networks), nodes are split into factions, signs are drawn with
+    :func:`faction_biased_signs`, and the result is restricted to its largest
+    connected component.
+    """
+    require_positive(num_nodes, "num_nodes")
+    require_positive(average_degree, "average_degree")
+    rng = ensure_rng(seed)
+
+    topology_graph = _build_topology(num_nodes, average_degree, topology, rng)
+    nodes = list(topology_graph.nodes())
+    factions = _split_into_factions(nodes, num_factions, faction_sizes, rng)
+    edges = [(u, v) for u, v in topology_graph.edges() if u != v]
+    signed = faction_biased_signs(
+        edges,
+        factions,
+        negative_fraction=negative_fraction,
+        cross_faction_bias=cross_faction_bias,
+        seed=rng,
+    )
+    component = largest_connected_component(signed)
+    surviving_factions = {node: factions[node] for node in component.nodes()}
+    return component, surviving_factions
+
+
+def slashdot_like(seed: RandomState = 13, scale: float = 1.0) -> SignedDataset:
+    """Synthetic stand-in for the paper's Slashdot subset.
+
+    Target statistics (Table 1): 214 users, 304 edges, 29.2 % negative edges,
+    diameter ≈ 9, 1 024 skills (post categories).  The graph is sparse, so an
+    Erdős–Rényi topology restricted to its giant component reproduces the
+    long, thin shape (large diameter) of the original subset.
+    """
+    require_probability(min(1.0, scale), "scale")
+    rng = ensure_rng(seed)
+    num_nodes = max(20, int(round(235 * scale)))
+    graph, factions = synthetic_signed_network(
+        num_nodes=num_nodes,
+        average_degree=2.9,
+        negative_fraction=0.292,
+        num_factions=2,
+        faction_sizes=[0.6, 0.4],
+        cross_faction_bias=0.85,
+        topology="erdos_renyi",
+        seed=rng,
+    )
+    skills = assign_skills_zipf(
+        graph.nodes(),
+        num_skills=max(32, int(round(1024 * scale))),
+        skills_per_user=12.0,
+        exponent=1.1,
+        skill_prefix="category",
+        seed=rng,
+    )
+    return SignedDataset(
+        name="slashdot",
+        graph=graph,
+        skills=skills,
+        factions=factions,
+        description=(
+            "Synthetic stand-in for the Slashdot friend/foe subset used in the paper "
+            "(214 users, 304 edges, 29.2% negative); skills model post categories."
+        ),
+    )
+
+
+def epinions_like(seed: RandomState = 17, scale: float = 0.08) -> SignedDataset:
+    """Synthetic stand-in for the Epinions signed network joined with RED categories.
+
+    The original has 28 854 users, 208 778 edges (16.7 % negative) and 523
+    product-category skills.  The default ``scale`` of 0.08 yields roughly
+    2 300 users while preserving the average degree, the negative-edge
+    fraction and the skill universe size.
+    """
+    require_positive(scale, "scale")
+    rng = ensure_rng(seed)
+    num_nodes = max(50, int(round(28_854 * scale)))
+    graph, factions = synthetic_signed_network(
+        num_nodes=num_nodes,
+        average_degree=14.5,
+        negative_fraction=0.167,
+        num_factions=2,
+        faction_sizes=[0.7, 0.3],
+        cross_faction_bias=0.9,
+        topology="scale_free",
+        seed=rng,
+    )
+    skills = assign_skills_zipf(
+        graph.nodes(),
+        num_skills=523,
+        skills_per_user=6.0,
+        exponent=1.0,
+        skill_prefix="product",
+        seed=rng,
+    )
+    return SignedDataset(
+        name="epinions",
+        graph=graph,
+        skills=skills,
+        factions=factions,
+        description=(
+            "Synthetic stand-in for the Epinions trust/distrust network joined with the "
+            "RED product categories (28,854 users, 208,778 edges, 16.7% negative), "
+            f"generated at scale={scale}."
+        ),
+    )
+
+
+def wikipedia_like(seed: RandomState = 19, scale: float = 0.15) -> SignedDataset:
+    """Synthetic stand-in for the Wikipedia adminship-election signed network.
+
+    The original has 7 066 users and 100 790 edges (21.5 % negative); skills
+    are synthetic in the paper as well (500 Zipf-distributed skills assigned
+    uniformly at random), so the skill model here is identical to the paper's.
+    """
+    require_positive(scale, "scale")
+    rng = ensure_rng(seed)
+    num_nodes = max(50, int(round(7_066 * scale)))
+    graph, factions = synthetic_signed_network(
+        num_nodes=num_nodes,
+        average_degree=14.0,
+        negative_fraction=0.215,
+        num_factions=2,
+        faction_sizes=[0.55, 0.45],
+        cross_faction_bias=0.9,
+        topology="scale_free",
+        seed=rng,
+    )
+    skills = assign_skills_zipf(
+        graph.nodes(),
+        num_skills=500,
+        skills_per_user=4.0,
+        exponent=1.0,
+        skill_prefix="skill",
+        seed=rng,
+    )
+    return SignedDataset(
+        name="wikipedia",
+        graph=graph,
+        skills=skills,
+        factions=factions,
+        description=(
+            "Synthetic stand-in for the Wikipedia admin-election signed network "
+            "(7,066 users, 100,790 edges, 21.5% negative) with the paper's own "
+            f"synthetic Zipf skill model, generated at scale={scale}."
+        ),
+    )
+
+
+def toy_dataset(seed: RandomState = 7) -> SignedDataset:
+    """A tiny deterministic dataset for quickstarts, tests and documentation.
+
+    Twelve users in two friendly clusters joined by a few negative edges, with
+    a handful of named skills spread so that small tasks are solvable.
+    """
+    edges = [
+        ("ana", "bob", POSITIVE),
+        ("ana", "cat", POSITIVE),
+        ("bob", "cat", POSITIVE),
+        ("cat", "dan", POSITIVE),
+        ("dan", "eve", POSITIVE),
+        ("eve", "ana", POSITIVE),
+        ("fay", "gus", POSITIVE),
+        ("gus", "hal", POSITIVE),
+        ("hal", "ivy", POSITIVE),
+        ("ivy", "fay", POSITIVE),
+        ("ivy", "jon", POSITIVE),
+        ("jon", "kim", POSITIVE),
+        ("kim", "lee", POSITIVE),
+        ("lee", "jon", POSITIVE),
+        ("dan", "fay", NEGATIVE),
+        ("eve", "gus", NEGATIVE),
+        ("cat", "jon", POSITIVE),
+        ("bob", "kim", NEGATIVE),
+    ]
+    graph = SignedGraph.from_edges(edges)
+    skills = SkillAssignment(
+        {
+            "ana": {"python", "statistics"},
+            "bob": {"python", "databases"},
+            "cat": {"visualisation", "databases"},
+            "dan": {"statistics", "devops"},
+            "eve": {"frontend", "python"},
+            "fay": {"devops", "databases"},
+            "gus": {"frontend", "design"},
+            "hal": {"design", "writing"},
+            "ivy": {"writing", "statistics"},
+            "jon": {"python", "design"},
+            "kim": {"databases", "writing"},
+            "lee": {"visualisation", "frontend"},
+        }
+    )
+    return SignedDataset(
+        name="toy",
+        graph=graph,
+        skills=skills,
+        factions={},
+        description="Hand-crafted 12-user example used by the quickstart and the tests.",
+    )
+
+
+def figure_1a_graph() -> SignedGraph:
+    """The example of Figure 1(a): ``u`` and ``v`` are SBP- but not SP-compatible.
+
+    The only shortest path ``(u, x1, v)`` is negative, so no SP relation holds.
+    The path ``(u, x2, x3, x4, v)`` is positive and structurally balanced, so
+    SBP holds; the shorter positive path ``(u, x2, x1, v)`` is *not*
+    structurally balanced because the shortcut edge ``(u, x1)`` closes the
+    unbalanced triangle ``(u, x1, x2)``.
+    """
+    return SignedGraph.from_edges(
+        [
+            ("u", "x1", NEGATIVE),
+            ("x1", "v", POSITIVE),
+            ("u", "x2", POSITIVE),
+            ("x2", "x1", POSITIVE),
+            ("x2", "x3", NEGATIVE),
+            ("x3", "x4", NEGATIVE),
+            ("x4", "v", POSITIVE),
+        ]
+    )
+
+
+def figure_1b_graph() -> SignedGraph:
+    """An example in the spirit of Figure 1(b): the prefix property fails.
+
+    The shortest positive structurally balanced path from ``u`` to ``x4`` is
+    ``(u, x3, x4)``, yet it cannot be extended towards ``v`` — adding ``x5``
+    closes the unbalanced triangle ``(x3, x4, x5)``.  The only positive
+    structurally balanced path from ``u`` to ``v`` is the longer
+    ``(u, x1, x2, x4, x5, v)``, whose prefix to ``x4`` is *not* the shortest
+    balanced one.  Consequently the SBPH heuristic (which keeps a single
+    representative path per node and sign) misses the ``(u, v)`` pair while
+    the exact SBP relation contains it.
+    """
+    return SignedGraph.from_edges(
+        [
+            ("u", "x1", POSITIVE),
+            ("x1", "x2", POSITIVE),
+            ("x2", "x4", POSITIVE),
+            ("u", "x3", POSITIVE),
+            ("x3", "x4", POSITIVE),
+            ("x3", "x5", NEGATIVE),
+            ("x4", "x5", POSITIVE),
+            ("x5", "v", POSITIVE),
+        ]
+    )
+
+
+# --------------------------------------------------------------------------- internals
+
+
+def _build_topology(
+    num_nodes: int, average_degree: float, topology: str, rng
+) -> nx.Graph:
+    nx_seed = rng.randrange(2**32)
+    if topology == "scale_free":
+        attachment = max(1, int(round(average_degree / 2.0)))
+        attachment = min(attachment, max(1, num_nodes - 1))
+        return nx.barabasi_albert_graph(num_nodes, attachment, seed=nx_seed)
+    if topology == "small_world":
+        neighbors = max(2, int(round(average_degree)))
+        if num_nodes <= neighbors:
+            return nx.complete_graph(num_nodes)
+        return nx.connected_watts_strogatz_graph(num_nodes, neighbors, 0.1, seed=nx_seed)
+    probability = min(1.0, average_degree / max(1, num_nodes - 1))
+    return nx.gnp_random_graph(num_nodes, probability, seed=nx_seed)
+
+
+def _split_into_factions(
+    nodes: List[Node],
+    num_factions: int,
+    faction_sizes: Optional[List[float]],
+    rng,
+) -> Dict[Node, int]:
+    require_positive(num_factions, "num_factions")
+    if faction_sizes is None:
+        weights = [1.0] * num_factions
+    else:
+        if len(faction_sizes) != num_factions:
+            raise ValueError(
+                f"faction_sizes has {len(faction_sizes)} entries, expected {num_factions}"
+            )
+        weights = list(faction_sizes)
+    total = sum(weights)
+    shuffled = list(nodes)
+    rng.shuffle(shuffled)
+    factions: Dict[Node, int] = {}
+    start = 0
+    for index, weight in enumerate(weights):
+        count = int(round(len(shuffled) * weight / total))
+        if index == len(weights) - 1:
+            count = len(shuffled) - start
+        for node in shuffled[start : start + count]:
+            factions[node] = index
+        start += count
+    # Any rounding leftovers land in the last faction.
+    for node in shuffled[start:]:
+        factions[node] = num_factions - 1
+    return factions

@@ -1,0 +1,51 @@
+"""Reproductions of every table and figure in the paper's evaluation section."""
+
+from repro.experiments.config import (
+    DatasetConfig,
+    ExperimentConfig,
+    default_config,
+    fast_config,
+)
+from repro.experiments.workloads import (
+    DatasetContext,
+    RelationContext,
+    build_all_dataset_contexts,
+    build_dataset_context,
+)
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Cell, Table2DatasetResult, Table2Result, run_table2
+from repro.experiments.table3 import Table3Result, run_table3
+from repro.experiments.figure2 import (
+    AlgorithmSeries,
+    Figure2ABResult,
+    Figure2CDResult,
+    run_figure2ab,
+    run_figure2cd,
+)
+from repro.experiments.runner import ReproductionReport, run_all
+
+__all__ = [
+    "DatasetConfig",
+    "ExperimentConfig",
+    "default_config",
+    "fast_config",
+    "DatasetContext",
+    "RelationContext",
+    "build_dataset_context",
+    "build_all_dataset_contexts",
+    "Table1Result",
+    "run_table1",
+    "Table2Cell",
+    "Table2DatasetResult",
+    "Table2Result",
+    "run_table2",
+    "Table3Result",
+    "run_table3",
+    "AlgorithmSeries",
+    "Figure2ABResult",
+    "Figure2CDResult",
+    "run_figure2ab",
+    "run_figure2cd",
+    "ReproductionReport",
+    "run_all",
+]

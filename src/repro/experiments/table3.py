@@ -1,0 +1,82 @@
+"""Experiment T3 — Table 3: comparison with unsigned team formation.
+
+The classic RarestFirst algorithm (Lappas et al.) is run on two unsigned
+projections of the team-formation dataset — *ignore sign* and *delete
+negative* — over the same random tasks used by Figure 2 (task size 5).  For
+every compatibility relation the experiment reports the percentage of the
+returned teams that happen to be compatible.  The paper's point is that this
+percentage is low, especially for the strict relations (0 % for SPA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.workloads import DatasetContext, build_dataset_context
+from repro.skills.task import Task
+from repro.teams.baselines import PROJECTION_NAMES, run_unsigned_baseline
+from repro.teams.validation import fraction_of_compatible_teams
+from repro.utils.tables import format_table
+
+
+@dataclass
+class Table3Result:
+    """Percentage of compatible baseline teams, per projection and relation."""
+
+    dataset: str
+    relations: Tuple[str, ...]
+    #: projection -> relation -> percentage of compatible teams.
+    percentages: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: projection -> number of tasks the unsigned baseline solved at all.
+    solved_tasks: Dict[str, int] = field(default_factory=dict)
+    num_tasks: int = 0
+
+    def as_text(self) -> str:
+        """Render in the paper's Table-3 layout."""
+        headers = ["projection"] + list(self.relations)
+        rows = []
+        for projection in PROJECTION_NAMES:
+            row: List[object] = [projection.replace("_", " ")]
+            for relation in self.relations:
+                value = self.percentages.get(projection, {}).get(relation)
+                row.append(None if value is None else f"{value:.0f}%")
+            rows.append(row)
+        return format_table(
+            headers,
+            rows,
+            title=f"Table 3 (dataset={self.dataset}, tasks={self.num_tasks}, k=5)",
+        )
+
+
+def run_table3(
+    config: Optional[ExperimentConfig] = None,
+    context: Optional[DatasetContext] = None,
+    tasks: Optional[Sequence[Task]] = None,
+) -> Table3Result:
+    """Run the unsigned baseline comparison on the configured team dataset."""
+    config = config or default_config()
+    context = context or build_dataset_context(config, config.team_dataset)
+    if tasks is None:
+        tasks = context.generate_tasks(
+            size=config.task_size, count=config.num_tasks, seed=config.workload_seed
+        )
+
+    result = Table3Result(
+        dataset=context.name,
+        relations=tuple(config.team_relations),
+        num_tasks=len(tasks),
+    )
+    for projection in PROJECTION_NAMES:
+        baseline_results = run_unsigned_baseline(
+            context.dataset.graph, context.dataset.skills, tasks, projection
+        )
+        teams = [entry.team for entry in baseline_results]
+        result.solved_tasks[projection] = sum(1 for entry in baseline_results if entry.solved)
+        result.percentages[projection] = {}
+        for relation_name in config.team_relations:
+            relation = context.relation_context(relation_name).relation
+            fraction = fraction_of_compatible_teams(teams, relation)
+            result.percentages[projection][relation_name] = 100.0 * fraction
+    return result

@@ -1,0 +1,194 @@
+"""Structural balance analysis of signed graphs.
+
+A signed graph is *structurally balanced* iff it contains no cycle with an odd
+number of negative edges, or equivalently (Cartwright & Harary, 1956) iff its
+nodes can be split into two camps such that all edges inside a camp are
+positive and all edges across camps are negative.  The SBP compatibility
+relation of the paper asks for a positive path whose *induced* subgraph is
+structurally balanced, so cheap balance checks on small induced subgraphs are
+a core primitive here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.signed.graph import NEGATIVE, POSITIVE, Node, SignedGraph
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Result of a balance check.
+
+    Attributes
+    ----------
+    balanced:
+        Whether the graph is structurally balanced.
+    partition:
+        When balanced, a two-camp partition ``(camp_a, camp_b)`` witnessing
+        balance (one camp may be empty); ``None`` otherwise.
+    violating_edge:
+        When unbalanced, one edge ``(u, v)`` whose sign contradicts the camp
+        assignment discovered by the two-colouring; ``None`` otherwise.
+    """
+
+    balanced: bool
+    partition: Optional[Tuple[frozenset, frozenset]] = None
+    violating_edge: Optional[Tuple[Node, Node]] = None
+
+
+def harary_bipartition(graph: SignedGraph) -> BalanceReport:
+    """Check structural balance via signed two-colouring (Harary's theorem).
+
+    Runs a BFS per connected component, assigning each node a camp in
+    ``{0, 1}``: a positive edge forces equal camps, a negative edge forces
+    opposite camps.  The graph is balanced iff no edge contradicts the forced
+    assignment.  Complexity O(|V| + |E|).
+    """
+    camp: Dict[Node, int] = {}
+    for start in graph.nodes():
+        if start in camp:
+            continue
+        camp[start] = 0
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor, sign in graph.signed_neighbors(node):
+                expected = camp[node] if sign == POSITIVE else 1 - camp[node]
+                if neighbor not in camp:
+                    camp[neighbor] = expected
+                    queue.append(neighbor)
+                elif camp[neighbor] != expected:
+                    return BalanceReport(balanced=False, violating_edge=(node, neighbor))
+    camp_a = frozenset(n for n, c in camp.items() if c == 0)
+    camp_b = frozenset(n for n, c in camp.items() if c == 1)
+    return BalanceReport(balanced=True, partition=(camp_a, camp_b))
+
+
+def is_balanced(graph: SignedGraph) -> bool:
+    """True iff ``graph`` is structurally balanced (no odd-negative cycle)."""
+    return harary_bipartition(graph).balanced
+
+
+def induced_subgraph_is_balanced(graph: SignedGraph, nodes: Iterable[Node]) -> bool:
+    """True iff the subgraph of ``graph`` induced by ``nodes`` is balanced.
+
+    This is the check the SBP compatibility definition applies to the nodes of
+    a candidate path.
+    """
+    return is_balanced(graph.subgraph(nodes))
+
+
+def path_is_balanced(graph: SignedGraph, path: Sequence[Node]) -> bool:
+    """True iff the subgraph induced by the nodes of ``path`` is balanced.
+
+    ``path`` is a node sequence; the check uses *all* edges of ``graph``
+    between path nodes (including shortcut edges that are not on the path),
+    exactly as Definition 3.4 of the paper requires.
+    """
+    return induced_subgraph_is_balanced(graph, path)
+
+
+def triangle_census(graph: SignedGraph) -> Dict[str, int]:
+    """Count signed triangles by type.
+
+    Returns a dictionary with keys ``'+++'``, ``'++-'``, ``'+--'``, ``'---'``
+    (number of positive edges in decreasing order).  Under structural balance
+    theory, ``'+++'`` and ``'+--'`` are the *balanced* triangle types.
+    """
+    counts = {"+++": 0, "++-": 0, "+--": 0, "---": 0}
+    nodes = graph.nodes()
+    index = {node: i for i, node in enumerate(nodes)}
+    for u in nodes:
+        for v in graph.neighbors(u):
+            if index[v] <= index[u]:
+                continue
+            for w in graph.neighbors(v):
+                if index[w] <= index[v] or not graph.has_edge(u, w):
+                    continue
+                positives = sum(
+                    1
+                    for a, b in ((u, v), (v, w), (u, w))
+                    if graph.sign(a, b) == POSITIVE
+                )
+                key = "+" * positives + "-" * (3 - positives)
+                counts[key] += 1
+    return counts
+
+
+def balanced_triangle_fraction(graph: SignedGraph) -> float:
+    """Fraction of triangles that are balanced (``'+++'`` or ``'+--'``).
+
+    Returns ``1.0`` for triangle-free graphs (vacuously balanced).
+    """
+    census = triangle_census(graph)
+    total = sum(census.values())
+    if total == 0:
+        return 1.0
+    return (census["+++"] + census["+--"]) / total
+
+
+def frustration_index_greedy(
+    graph: SignedGraph,
+    iterations: int = 3,
+    seed: RandomState = None,
+) -> Tuple[int, Dict[Node, int]]:
+    """Greedy upper bound on the frustration index.
+
+    The frustration index is the minimum number of edges whose removal (or
+    sign flip) makes the graph balanced; computing it exactly is NP-hard.  The
+    heuristic assigns each node a camp, then repeatedly moves any node whose
+    switch decreases the number of *frustrated* edges (positive edges across
+    camps or negative edges within a camp), restarting ``iterations`` times
+    from random assignments and keeping the best result.
+
+    Returns ``(frustrated_edge_count, camp_assignment)``.
+    """
+    if iterations <= 0:
+        raise ValueError(f"iterations must be positive, got {iterations}")
+    rng = ensure_rng(seed)
+    nodes = graph.nodes()
+    best_count: Optional[int] = None
+    best_assignment: Dict[Node, int] = {}
+    for _ in range(iterations):
+        camp = {node: rng.randint(0, 1) for node in nodes}
+        improved = True
+        while improved:
+            improved = False
+            for node in nodes:
+                gain = _switch_gain(graph, camp, node)
+                if gain > 0:
+                    camp[node] = 1 - camp[node]
+                    improved = True
+        count = _count_frustrated(graph, camp)
+        if best_count is None or count < best_count:
+            best_count = count
+            best_assignment = dict(camp)
+    return best_count if best_count is not None else 0, best_assignment
+
+
+def _edge_is_frustrated(sign: int, same_camp: bool) -> bool:
+    return (sign == POSITIVE and not same_camp) or (sign == NEGATIVE and same_camp)
+
+
+def _switch_gain(graph: SignedGraph, camp: Dict[Node, int], node: Node) -> int:
+    """Reduction in frustrated edges if ``node`` switches camp."""
+    gain = 0
+    for neighbor, sign in graph.signed_neighbors(node):
+        same = camp[node] == camp[neighbor]
+        if _edge_is_frustrated(sign, same):
+            gain += 1
+        if _edge_is_frustrated(sign, not same):
+            gain -= 1
+    return gain
+
+
+def _count_frustrated(graph: SignedGraph, camp: Dict[Node, int]) -> int:
+    count = 0
+    for u, v, sign in graph.edge_triples():
+        if _edge_is_frustrated(sign, camp[u] == camp[v]):
+            count += 1
+    return count

@@ -1,0 +1,89 @@
+"""Conversions between :class:`SignedGraph` and ``networkx``, plus graph transforms.
+
+The library's algorithms run on :class:`~repro.signed.graph.SignedGraph`, but
+the synthetic generators borrow topologies from ``networkx`` and the unsigned
+team-formation baseline (Table 3 of the paper) needs the two classic
+transforms of a signed network into an unsigned one:
+
+* *ignore sign* — keep every edge, drop the labels;
+* *delete negative* — keep only the positive edges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import networkx as nx
+
+from repro.exceptions import InvalidSignError
+from repro.signed.graph import NEGATIVE, POSITIVE, SignedGraph
+
+
+def to_networkx(graph: SignedGraph) -> nx.Graph:
+    """Convert to an undirected ``networkx.Graph`` with a ``sign`` edge attribute."""
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    for u, v, sign in graph.edge_triples():
+        nx_graph.add_edge(u, v, sign=sign)
+    return nx_graph
+
+
+def from_networkx(
+    nx_graph: nx.Graph,
+    sign_attribute: str = "sign",
+    default_sign: Optional[int] = None,
+) -> SignedGraph:
+    """Convert a ``networkx`` graph whose edges carry a sign attribute.
+
+    Parameters
+    ----------
+    nx_graph:
+        The source graph (must be undirected; directed graphs should be
+        converted by the caller, who knows how to reconcile reciprocal signs).
+    sign_attribute:
+        Name of the edge attribute holding ``+1`` / ``-1``.
+    default_sign:
+        Sign to use for edges missing the attribute; ``None`` (the default)
+        raises :class:`InvalidSignError` for such edges instead.
+    """
+    if nx_graph.is_directed():
+        raise ValueError("from_networkx expects an undirected graph")
+    graph = SignedGraph()
+    for node in nx_graph.nodes():
+        graph.add_node(node)
+    for u, v, data in nx_graph.edges(data=True):
+        if u == v:
+            continue
+        sign = data.get(sign_attribute, default_sign)
+        if sign not in (POSITIVE, NEGATIVE):
+            raise InvalidSignError(sign)
+        graph.add_edge(u, v, sign)
+    return graph
+
+
+def unsigned_copy(graph: SignedGraph) -> nx.Graph:
+    """The *ignore sign* transform: every edge kept, labels dropped."""
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    nx_graph.add_edges_from((u, v) for u, v, _ in graph.edge_triples())
+    return nx_graph
+
+
+def positive_subgraph(graph: SignedGraph) -> nx.Graph:
+    """The *delete negative* transform: only positive edges kept (all nodes retained)."""
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    nx_graph.add_edges_from(
+        (u, v) for u, v, sign in graph.edge_triples() if sign == POSITIVE
+    )
+    return nx_graph
+
+
+def map_nodes(graph: SignedGraph, mapping: Callable[[object], object]) -> SignedGraph:
+    """Return a copy of ``graph`` with every node relabelled through ``mapping``."""
+    relabelled = SignedGraph()
+    for node in graph.nodes():
+        relabelled.add_node(mapping(node))
+    for u, v, sign in graph.edge_triples():
+        relabelled.add_edge(mapping(u), mapping(v), sign)
+    return relabelled

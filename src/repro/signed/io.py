@@ -1,0 +1,151 @@
+"""Reading and writing signed graphs.
+
+Supported formats:
+
+* **Signed edge list** (the SNAP ``soc-sign-*`` layout used by the paper's
+  datasets): one edge per line, whitespace- or comma-separated, columns
+  ``source target sign``; lines starting with ``#`` are comments.
+* **JSON**: a dictionary ``{"nodes": [...], "edges": [[u, v, sign], ...]}``,
+  round-trippable including isolated nodes.
+
+The loaders never touch the network — they only read local files — so the real
+SNAP datasets can be dropped in when available, while the synthetic stand-ins
+(:mod:`repro.datasets.synthetic`) are used otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import DatasetError, InvalidSignError
+from repro.signed.graph import NEGATIVE, POSITIVE, Node, SignedGraph
+
+PathLike = Union[str, Path]
+
+
+def parse_edge_list(
+    lines: Iterable[str],
+    directed_to_undirected: str = "keep_first",
+) -> SignedGraph:
+    """Parse a signed edge list from an iterable of text lines.
+
+    Parameters
+    ----------
+    lines:
+        Lines of the form ``u v sign`` (whitespace or comma separated).  The
+        sign column accepts ``1 / +1 / -1`` as well as ``+`` / ``-``.
+    directed_to_undirected:
+        SNAP sign networks are directed; this library works on undirected
+        graphs.  When both ``(u, v)`` and ``(v, u)`` appear with conflicting
+        signs, the policy decides what to do:
+
+        * ``"keep_first"`` — keep the sign seen first (default);
+        * ``"negative_wins"`` — a single negative report makes the edge negative
+          (the conservative choice for incompatibility);
+        * ``"error"`` — raise :class:`DatasetError`.
+    """
+    if directed_to_undirected not in ("keep_first", "negative_wins", "error"):
+        raise ValueError(
+            "directed_to_undirected must be 'keep_first', 'negative_wins' or 'error', "
+            f"got {directed_to_undirected!r}"
+        )
+    graph = SignedGraph()
+    for line_number, raw_line in enumerate(lines, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#") or line.startswith("%"):
+            continue
+        parts = line.replace(",", " ").split()
+        if len(parts) < 3:
+            raise DatasetError(
+                f"line {line_number}: expected 'source target sign', got {raw_line!r}"
+            )
+        u, v = _parse_node(parts[0]), _parse_node(parts[1])
+        sign = _parse_sign(parts[2])
+        if u == v:
+            continue
+        if graph.has_edge(u, v):
+            existing = graph.sign(u, v)
+            if existing == sign:
+                continue
+            if directed_to_undirected == "error":
+                raise DatasetError(
+                    f"line {line_number}: conflicting signs for edge ({u!r}, {v!r})"
+                )
+            if directed_to_undirected == "negative_wins":
+                graph.set_sign(u, v, NEGATIVE)
+            continue
+        graph.add_edge(u, v, sign)
+    return graph
+
+
+def read_edge_list(path: PathLike, directed_to_undirected: str = "keep_first") -> SignedGraph:
+    """Read a signed edge-list file; see :func:`parse_edge_list` for the format."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DatasetError(f"edge-list file not found: {file_path}")
+    with file_path.open("r", encoding="utf-8") as handle:
+        return parse_edge_list(handle, directed_to_undirected=directed_to_undirected)
+
+
+def write_edge_list(graph: SignedGraph, path: PathLike) -> None:
+    """Write ``graph`` as a signed edge list (``u v sign`` per line)."""
+    file_path = Path(path)
+    file_path.parent.mkdir(parents=True, exist_ok=True)
+    with file_path.open("w", encoding="utf-8") as handle:
+        handle.write("# source target sign\n")
+        for u, v, sign in graph.edge_triples():
+            handle.write(f"{u} {v} {sign}\n")
+
+
+def graph_to_json_dict(graph: SignedGraph) -> dict:
+    """Return a JSON-serialisable dictionary representation of ``graph``."""
+    return {
+        "nodes": list(graph.nodes()),
+        "edges": [[u, v, sign] for u, v, sign in graph.edge_triples()],
+    }
+
+
+def graph_from_json_dict(data: dict) -> SignedGraph:
+    """Rebuild a graph from :func:`graph_to_json_dict` output."""
+    if "edges" not in data:
+        raise DatasetError("JSON graph payload is missing the 'edges' key")
+    edges = [(u, v, _parse_sign(sign)) for u, v, sign in data["edges"]]
+    return SignedGraph.from_edges(edges, nodes=data.get("nodes"))
+
+
+def write_json(graph: SignedGraph, path: PathLike) -> None:
+    """Serialise ``graph`` to a JSON file."""
+    file_path = Path(path)
+    file_path.parent.mkdir(parents=True, exist_ok=True)
+    with file_path.open("w", encoding="utf-8") as handle:
+        json.dump(graph_to_json_dict(graph), handle)
+
+
+def read_json(path: PathLike) -> SignedGraph:
+    """Load a graph previously written with :func:`write_json`."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DatasetError(f"JSON graph file not found: {file_path}")
+    with file_path.open("r", encoding="utf-8") as handle:
+        return graph_from_json_dict(json.load(handle))
+
+
+def _parse_node(token: str) -> Node:
+    """Nodes in SNAP files are integers; fall back to the raw string otherwise."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _parse_sign(token: object) -> int:
+    if token in (POSITIVE, NEGATIVE):
+        return int(token)  # type: ignore[arg-type]
+    text = str(token).strip()
+    if text in ("+", "+1", "1"):
+        return POSITIVE
+    if text in ("-", "-1"):
+        return NEGATIVE
+    raise InvalidSignError(token)

@@ -1,0 +1,30 @@
+"""Skills substrate: skill assignments, tasks, generators, statistics and I/O."""
+
+from repro.skills.assignment import SkillAssignment
+from repro.skills.task import Task
+from repro.skills.generators import (
+    zipf_skill_frequencies,
+    assign_skills_zipf,
+    assign_skills_uniform,
+)
+from repro.skills.stats import SkillStatistics, skill_statistics
+from repro.skills.io import (
+    assignment_to_json_dict,
+    assignment_from_json_dict,
+    read_assignment,
+    write_assignment,
+)
+
+__all__ = [
+    "SkillAssignment",
+    "Task",
+    "zipf_skill_frequencies",
+    "assign_skills_zipf",
+    "assign_skills_uniform",
+    "SkillStatistics",
+    "skill_statistics",
+    "assignment_to_json_dict",
+    "assignment_from_json_dict",
+    "read_assignment",
+    "write_assignment",
+]

@@ -1,0 +1,144 @@
+"""The user ↔ skill assignment (``skill(u)`` in the paper).
+
+:class:`SkillAssignment` is a bidirectional map between users and skills.  It
+answers both directions in O(1) per lookup — "which skills does user *u*
+have?" (needed when growing a team) and "which users have skill *s*?" (needed
+when selecting candidates for an uncovered skill).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.exceptions import UnknownSkillError
+
+User = Hashable
+Skill = Hashable
+
+
+class SkillAssignment:
+    """Bidirectional user ↔ skill map.
+
+    Example
+    -------
+    >>> assignment = SkillAssignment({"alice": {"python", "sql"}, "bob": {"sql"}})
+    >>> sorted(assignment.skills_of("alice"))
+    ['python', 'sql']
+    >>> sorted(assignment.users_with("sql"))
+    ['alice', 'bob']
+    >>> assignment.skill_frequency("sql")
+    2
+    """
+
+    def __init__(self, assignment: Optional[Mapping[User, Iterable[Skill]]] = None) -> None:
+        self._user_skills: Dict[User, Set[Skill]] = {}
+        self._skill_users: Dict[Skill, Set[User]] = {}
+        if assignment:
+            for user, skills in assignment.items():
+                self.add_user(user, skills)
+
+    # ------------------------------------------------------------------ build
+
+    def add_user(self, user: User, skills: Iterable[Skill] = ()) -> None:
+        """Register ``user`` with the given skills (merging with existing ones)."""
+        self._user_skills.setdefault(user, set())
+        for skill in skills:
+            self.add_skill_to_user(user, skill)
+
+    def add_skill_to_user(self, user: User, skill: Skill) -> None:
+        """Give ``skill`` to ``user`` (registering both if needed)."""
+        self._user_skills.setdefault(user, set()).add(skill)
+        self._skill_users.setdefault(skill, set()).add(user)
+
+    def remove_skill_from_user(self, user: User, skill: Skill) -> None:
+        """Remove ``skill`` from ``user`` (no-op if the user lacks the skill)."""
+        if user in self._user_skills:
+            self._user_skills[user].discard(skill)
+        if skill in self._skill_users:
+            self._skill_users[skill].discard(user)
+            if not self._skill_users[skill]:
+                del self._skill_users[skill]
+
+    # ------------------------------------------------------------------ query
+
+    def __contains__(self, user: User) -> bool:
+        return user in self._user_skills
+
+    def __len__(self) -> int:
+        return len(self._user_skills)
+
+    def __iter__(self) -> Iterator[User]:
+        return iter(self._user_skills)
+
+    def users(self) -> List[User]:
+        """All registered users (including users with no skills)."""
+        return list(self._user_skills)
+
+    def skills(self) -> List[Skill]:
+        """The skill universe: every skill possessed by at least one user."""
+        return list(self._skill_users)
+
+    def number_of_skills(self) -> int:
+        """Size of the skill universe."""
+        return len(self._skill_users)
+
+    def skills_of(self, user: User) -> FrozenSet[Skill]:
+        """The skill set of ``user`` (empty frozenset for unknown users)."""
+        return frozenset(self._user_skills.get(user, frozenset()))
+
+    def users_with(self, skill: Skill) -> FrozenSet[User]:
+        """The set of users possessing ``skill``; raises for unknown skills."""
+        try:
+            return frozenset(self._skill_users[skill])
+        except KeyError:
+            raise UnknownSkillError(skill) from None
+
+    def has_skill(self, user: User, skill: Skill) -> bool:
+        """True iff ``user`` possesses ``skill``."""
+        return skill in self._user_skills.get(user, ())
+
+    def skill_frequency(self, skill: Skill) -> int:
+        """Number of users possessing ``skill`` (0 for unknown skills)."""
+        return len(self._skill_users.get(skill, ()))
+
+    def covers(self, users: Iterable[User], skills: Iterable[Skill]) -> bool:
+        """True iff the union of the users' skill sets contains all ``skills``."""
+        required = set(skills)
+        for user in users:
+            required -= self._user_skills.get(user, set())
+            if not required:
+                return True
+        return not required
+
+    def covered_skills(self, users: Iterable[User]) -> Set[Skill]:
+        """Union of skill sets of ``users``."""
+        covered: Set[Skill] = set()
+        for user in users:
+            covered |= self._user_skills.get(user, set())
+        return covered
+
+    def missing_skills(self, users: Iterable[User], skills: Iterable[Skill]) -> Set[Skill]:
+        """Subset of ``skills`` not covered by ``users``."""
+        return set(skills) - self.covered_skills(users)
+
+    def restricted_to(self, users: Iterable[User]) -> "SkillAssignment":
+        """Return a copy containing only the given users."""
+        subset = SkillAssignment()
+        for user in users:
+            subset.add_user(user, self._user_skills.get(user, set()))
+        return subset
+
+    def as_dict(self) -> Dict[User, Set[Skill]]:
+        """Return a plain ``{user: set_of_skills}`` dictionary copy."""
+        return {user: set(skills) for user, skills in self._user_skills.items()}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SkillAssignment):
+            return NotImplemented
+        return self._user_skills == other._user_skills
+
+    def __repr__(self) -> str:
+        return (
+            f"SkillAssignment(users={len(self._user_skills)}, "
+            f"skills={len(self._skill_users)})"
+        )

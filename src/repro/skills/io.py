@@ -1,0 +1,81 @@
+"""Serialisation of skill assignments (JSON and simple text formats)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.exceptions import DatasetError
+from repro.skills.assignment import SkillAssignment
+
+PathLike = Union[str, Path]
+
+
+def assignment_to_json_dict(assignment: SkillAssignment) -> Dict[str, List[object]]:
+    """Return a JSON-serialisable ``{user: [skills...]}`` dictionary.
+
+    User keys are converted to strings (JSON object keys must be strings);
+    :func:`assignment_from_json_dict` converts numeric-looking keys back to
+    integers so integer-noded datasets round-trip.
+    """
+    return {
+        str(user): sorted(str(skill) for skill in assignment.skills_of(user))
+        for user in assignment.users()
+    }
+
+
+def assignment_from_json_dict(data: Dict[str, Iterable[object]]) -> SkillAssignment:
+    """Rebuild a :class:`SkillAssignment` from :func:`assignment_to_json_dict` output."""
+    assignment = SkillAssignment()
+    for raw_user, skills in data.items():
+        user: object = raw_user
+        if isinstance(raw_user, str) and raw_user.lstrip("-").isdigit():
+            user = int(raw_user)
+        assignment.add_user(user, skills)
+    return assignment
+
+
+def write_assignment(assignment: SkillAssignment, path: PathLike) -> None:
+    """Write ``assignment`` to a JSON file."""
+    file_path = Path(path)
+    file_path.parent.mkdir(parents=True, exist_ok=True)
+    with file_path.open("w", encoding="utf-8") as handle:
+        json.dump(assignment_to_json_dict(assignment), handle)
+
+
+def read_assignment(path: PathLike) -> SkillAssignment:
+    """Load an assignment previously written with :func:`write_assignment`."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DatasetError(f"skill assignment file not found: {file_path}")
+    with file_path.open("r", encoding="utf-8") as handle:
+        return assignment_from_json_dict(json.load(handle))
+
+
+def read_user_skill_pairs(path: PathLike, separator: str = None) -> SkillAssignment:
+    """Read a text file of ``user skill`` pairs, one per line.
+
+    This is the format in which real datasets (e.g. the RED product-category
+    data the paper joins with Epinions) are typically distributed.  Lines
+    starting with ``#`` are ignored.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DatasetError(f"user-skill file not found: {file_path}")
+    assignment = SkillAssignment()
+    with file_path.open("r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(separator)
+            if len(parts) < 2:
+                raise DatasetError(
+                    f"line {line_number}: expected 'user skill', got {raw_line!r}"
+                )
+            user: object = parts[0]
+            if isinstance(user, str) and user.lstrip("-").isdigit():
+                user = int(user)
+            assignment.add_user(user, [" ".join(parts[1:])])
+    return assignment

@@ -1,0 +1,57 @@
+"""Descriptive statistics of skill assignments (the "#skills" column of Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.skills.assignment import SkillAssignment
+
+
+@dataclass(frozen=True)
+class SkillStatistics:
+    """Summary of a skill assignment."""
+
+    num_users: int
+    num_skills: int
+    total_assignments: int
+    average_skills_per_user: float
+    max_skill_frequency: int
+    min_skill_frequency: int
+    users_without_skills: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the statistics as a plain dictionary (for table rendering)."""
+        return {
+            "#users": self.num_users,
+            "#skills": self.num_skills,
+            "#assignments": self.total_assignments,
+            "avg skills/user": round(self.average_skills_per_user, 2),
+            "max skill freq": self.max_skill_frequency,
+            "min skill freq": self.min_skill_frequency,
+            "users w/o skills": self.users_without_skills,
+        }
+
+
+def skill_statistics(assignment: SkillAssignment) -> SkillStatistics:
+    """Compute :class:`SkillStatistics` for ``assignment``."""
+    users = assignment.users()
+    skills = assignment.skills()
+    per_user_counts: List[int] = [len(assignment.skills_of(user)) for user in users]
+    frequencies: List[int] = [assignment.skill_frequency(skill) for skill in skills]
+    total = sum(per_user_counts)
+    return SkillStatistics(
+        num_users=len(users),
+        num_skills=len(skills),
+        total_assignments=total,
+        average_skills_per_user=(total / len(users)) if users else 0.0,
+        max_skill_frequency=max(frequencies) if frequencies else 0,
+        min_skill_frequency=min(frequencies) if frequencies else 0,
+        users_without_skills=sum(1 for count in per_user_counts if count == 0),
+    )
+
+
+def skill_frequency_table(assignment: SkillAssignment) -> Dict[object, int]:
+    """Map each skill to the number of users possessing it, sorted by frequency."""
+    frequencies = {skill: assignment.skill_frequency(skill) for skill in assignment.skills()}
+    return dict(sorted(frequencies.items(), key=lambda item: (-item[1], str(item[0]))))

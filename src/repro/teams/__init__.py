@@ -1,0 +1,90 @@
+"""Team formation in signed networks: problems, policies, algorithms, baselines."""
+
+from repro.teams.problem import TeamFormationProblem, TeamFormationResult
+from repro.teams.cost import (
+    COST_FUNCTIONS,
+    CostFunction,
+    cardinality_cost,
+    diameter_cost,
+    get_cost_function,
+    sum_distance_cost,
+)
+from repro.teams.policies import (
+    SKILL_POLICIES,
+    USER_POLICIES,
+    LeastCompatibleSkillFirst,
+    MinimumDistanceUser,
+    MostCompatibleUser,
+    RandomUser,
+    RarestSkillFirst,
+    SkillSelectionPolicy,
+    UserSelectionPolicy,
+)
+from repro.teams.generic import form_team
+from repro.teams.algorithms import (
+    ALGORITHM_NAMES,
+    lcmc,
+    lcmd,
+    random_team,
+    rfmc,
+    rfmd,
+    run_algorithm,
+)
+from repro.teams.exact import exists_compatible_team, solve_exact
+from repro.teams.baselines import (
+    PROJECTION_NAMES,
+    RarestFirstBaseline,
+    UnsignedTeamResult,
+    project_graph,
+    run_unsigned_baseline,
+)
+from repro.teams.validation import (
+    TeamValidationReport,
+    fraction_of_compatible_teams,
+    team_covers_task,
+    team_is_compatible,
+    validate_team,
+)
+from repro.teams.topk import diverse_top_k_teams, top_k_teams
+
+__all__ = [
+    "top_k_teams",
+    "diverse_top_k_teams",
+    "TeamFormationProblem",
+    "TeamFormationResult",
+    "COST_FUNCTIONS",
+    "CostFunction",
+    "diameter_cost",
+    "sum_distance_cost",
+    "cardinality_cost",
+    "get_cost_function",
+    "SKILL_POLICIES",
+    "USER_POLICIES",
+    "SkillSelectionPolicy",
+    "UserSelectionPolicy",
+    "RarestSkillFirst",
+    "LeastCompatibleSkillFirst",
+    "MinimumDistanceUser",
+    "MostCompatibleUser",
+    "RandomUser",
+    "form_team",
+    "ALGORITHM_NAMES",
+    "run_algorithm",
+    "lcmd",
+    "lcmc",
+    "rfmd",
+    "rfmc",
+    "random_team",
+    "solve_exact",
+    "exists_compatible_team",
+    "PROJECTION_NAMES",
+    "project_graph",
+    "RarestFirstBaseline",
+    "UnsignedTeamResult",
+    "run_unsigned_baseline",
+    "TeamValidationReport",
+    "validate_team",
+    "team_covers_task",
+    "team_is_compatible",
+    "fraction_of_compatible_teams",
+]

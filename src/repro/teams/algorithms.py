@@ -1,0 +1,99 @@
+"""Named team-formation algorithms (the policy pairings evaluated in the paper).
+
+* **LCMD** — least-compatible skill first, minimum-distance user (the paper's
+  best performer on cost).
+* **LCMC** — least-compatible skill first, most-compatible user.
+* **RFMD** — rarest skill first, minimum-distance user (the signed analogue of
+  Lappas et al.'s RarestFirst).
+* **RFMC** — rarest skill first, most-compatible user.
+* **RANDOM** — least-compatible skill first, random compatible user (the
+  paper's RANDOM baseline).
+
+Every algorithm is a thin wrapper around :func:`repro.teams.generic.form_team`
+with a fixed pair of policies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.teams.cost import CostFunction, diameter_cost
+from repro.teams.generic import form_team
+from repro.teams.policies import (
+    LeastCompatibleSkillFirst,
+    MinimumDistanceUser,
+    MostCompatibleUser,
+    RandomUser,
+    RarestSkillFirst,
+    SkillSelectionPolicy,
+    UserSelectionPolicy,
+)
+from repro.teams.problem import TeamFormationProblem, TeamFormationResult
+from repro.utils.rng import RandomState
+
+#: Algorithm name -> (skill policy class, user policy class).
+_ALGORITHM_POLICIES: Dict[str, tuple] = {
+    "LCMD": (LeastCompatibleSkillFirst, MinimumDistanceUser),
+    "LCMC": (LeastCompatibleSkillFirst, MostCompatibleUser),
+    "RFMD": (RarestSkillFirst, MinimumDistanceUser),
+    "RFMC": (RarestSkillFirst, MostCompatibleUser),
+    "RANDOM": (LeastCompatibleSkillFirst, RandomUser),
+}
+
+#: Names of the available algorithms, in the order the paper discusses them.
+ALGORITHM_NAMES: Sequence[str] = tuple(_ALGORITHM_POLICIES)
+
+
+def run_algorithm(
+    name: str,
+    problem: TeamFormationProblem,
+    cost_function: CostFunction = diameter_cost,
+    max_seeds: Optional[int] = None,
+    seed: RandomState = None,
+) -> TeamFormationResult:
+    """Run the named algorithm on ``problem``.
+
+    ``seed`` feeds the RANDOM user policy (and seed subsampling when
+    ``max_seeds`` is set); deterministic algorithms ignore it apart from seed
+    subsampling.
+    """
+    key = name.upper()
+    if key not in _ALGORITHM_POLICIES:
+        raise KeyError(f"unknown algorithm {name!r}; available: {list(ALGORITHM_NAMES)}")
+    skill_policy_class, user_policy_class = _ALGORITHM_POLICIES[key]
+    skill_policy: SkillSelectionPolicy = skill_policy_class()
+    user_policy: UserSelectionPolicy = user_policy_class(seed=seed)
+    return form_team(
+        problem,
+        skill_policy,
+        user_policy,
+        cost_function=cost_function,
+        max_seeds=max_seeds,
+        algorithm_name=key,
+        seed=seed,
+    )
+
+
+def lcmd(problem: TeamFormationProblem, **kwargs) -> TeamFormationResult:
+    """Least-compatible skill, minimum-distance user."""
+    return run_algorithm("LCMD", problem, **kwargs)
+
+
+def lcmc(problem: TeamFormationProblem, **kwargs) -> TeamFormationResult:
+    """Least-compatible skill, most-compatible user."""
+    return run_algorithm("LCMC", problem, **kwargs)
+
+
+def rfmd(problem: TeamFormationProblem, **kwargs) -> TeamFormationResult:
+    """Rarest skill, minimum-distance user."""
+    return run_algorithm("RFMD", problem, **kwargs)
+
+
+def rfmc(problem: TeamFormationProblem, **kwargs) -> TeamFormationResult:
+    """Rarest skill, most-compatible user."""
+    return run_algorithm("RFMC", problem, **kwargs)
+
+
+def random_team(problem: TeamFormationProblem, **kwargs) -> TeamFormationResult:
+    """Random compatible user selection (baseline)."""
+    return run_algorithm("RANDOM", problem, **kwargs)

@@ -1,0 +1,146 @@
+"""Unsigned team-formation baseline (Lappas, Liu & Terzi, KDD 2009).
+
+The paper's Table 3 compares TFSN against the classic *RarestFirst* algorithm
+run on two unsigned projections of the signed network:
+
+* **ignore sign** — keep every edge, drop the labels;
+* **delete negative** — keep only the positive edges.
+
+RarestFirst (for the diameter cost) works as follows: pick the rarest required
+skill; for every user owning it, build a team by adding, for each other
+required skill, the owner closest to the seed; return the team with the
+smallest diameter.  The resulting teams are then checked for compatibility
+under each signed relation — the point of Table 3 being that most of them are
+*not* compatible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+import networkx as nx
+
+from repro.signed.convert import positive_subgraph, unsigned_copy
+from repro.signed.graph import Node, SignedGraph
+from repro.skills.assignment import Skill, SkillAssignment
+from repro.skills.task import Task
+
+#: Names of the two unsigned projections used by Table 3.
+PROJECTION_NAMES: Sequence[str] = ("ignore_sign", "delete_negative")
+
+
+def project_graph(graph: SignedGraph, projection: str) -> nx.Graph:
+    """Build one of the two unsigned projections of ``graph``."""
+    if projection == "ignore_sign":
+        return unsigned_copy(graph)
+    if projection == "delete_negative":
+        return positive_subgraph(graph)
+    raise ValueError(
+        f"unknown projection {projection!r}; expected one of {list(PROJECTION_NAMES)}"
+    )
+
+
+@dataclass(frozen=True)
+class UnsignedTeamResult:
+    """Outcome of the unsigned RarestFirst baseline on one task."""
+
+    task: Task
+    team: Optional[FrozenSet[Node]]
+    diameter: float
+
+    @property
+    def solved(self) -> bool:
+        """True iff a covering team was found on the unsigned graph."""
+        return self.team is not None
+
+
+class RarestFirstBaseline:
+    """RarestFirst of Lappas et al. on an unsigned ``networkx`` graph.
+
+    Distances are ordinary BFS distances on the unsigned graph; per-source
+    distance maps are cached because the seed loop reuses them heavily.
+    """
+
+    def __init__(self, graph: nx.Graph, assignment: SkillAssignment) -> None:
+        self._graph = graph
+        self._assignment = assignment
+        self._distance_cache: Dict[Node, Dict[Node, int]] = {}
+
+    def solve(self, task: Task) -> UnsignedTeamResult:
+        """Run RarestFirst for ``task`` and return the best team found."""
+        skills = list(task.skills)
+        holders = {skill: self._holders(skill) for skill in skills}
+        if any(not users for users in holders.values()):
+            return UnsignedTeamResult(task=task, team=None, diameter=float("inf"))
+
+        rarest = min(skills, key=lambda skill: (len(holders[skill]), str(skill)))
+        best_team: Optional[FrozenSet[Node]] = None
+        best_diameter = float("inf")
+        for seed in sorted(holders[rarest], key=repr):
+            team = self._team_for_seed(seed, skills, holders)
+            if team is None:
+                continue
+            team_diameter = self._team_diameter(team)
+            if team_diameter < best_diameter:
+                best_diameter = team_diameter
+                best_team = team
+        return UnsignedTeamResult(task=task, team=best_team, diameter=best_diameter)
+
+    # --------------------------------------------------------------- internals
+
+    def _holders(self, skill: Skill) -> List[Node]:
+        try:
+            users = self._assignment.users_with(skill)
+        except KeyError:
+            return []
+        return [user for user in users if self._graph.has_node(user)]
+
+    def _team_for_seed(
+        self,
+        seed: Node,
+        skills: Iterable[Skill],
+        holders: Dict[Skill, List[Node]],
+    ) -> Optional[FrozenSet[Node]]:
+        distances = self._distances_from(seed)
+        team: Set[Node] = {seed}
+        covered = self._assignment.skills_of(seed)
+        for skill in sorted(skills, key=str):
+            if skill in covered:
+                continue
+            reachable = [user for user in holders[skill] if user in distances]
+            if not reachable:
+                return None
+            closest = min(reachable, key=lambda user: (distances[user], repr(user)))
+            team.add(closest)
+            covered = covered | self._assignment.skills_of(closest)
+        return frozenset(team)
+
+    def _team_diameter(self, team: FrozenSet[Node]) -> float:
+        best = 0.0
+        members = sorted(team, key=repr)
+        for index, u in enumerate(members):
+            distances = self._distances_from(u)
+            for v in members[index + 1 :]:
+                if v not in distances:
+                    return float("inf")
+                best = max(best, float(distances[v]))
+        return best
+
+    def _distances_from(self, source: Node) -> Dict[Node, int]:
+        cached = self._distance_cache.get(source)
+        if cached is None:
+            cached = dict(nx.single_source_shortest_path_length(self._graph, source))
+            self._distance_cache[source] = cached
+        return cached
+
+
+def run_unsigned_baseline(
+    graph: SignedGraph,
+    assignment: SkillAssignment,
+    tasks: Iterable[Task],
+    projection: str,
+) -> List[UnsignedTeamResult]:
+    """Run RarestFirst on the chosen unsigned projection for every task."""
+    baseline = RarestFirstBaseline(project_graph(graph, projection), assignment)
+    return [baseline.solve(task) for task in tasks]

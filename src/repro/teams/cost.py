@@ -1,0 +1,51 @@
+"""Communication-cost functions for teams.
+
+The paper uses the *diameter* cost — the largest distance between any two team
+members — computed with the distance definition of the active compatibility
+relation.  A sum-of-distances cost is provided as well because it is the other
+classic objective from Lappas et al. and is used by one of the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable
+
+from repro.compatibility.distance import DistanceOracle
+from repro.signed.graph import Node
+
+#: A cost function maps (oracle, team) to a non-negative float (or ``inf``).
+CostFunction = Callable[[DistanceOracle, Iterable[Node]], float]
+
+
+def diameter_cost(oracle: DistanceOracle, team: Iterable[Node]) -> float:
+    """Largest pairwise distance within the team (the paper's ``Cost(X)``)."""
+    return oracle.max_pairwise_distance(team)
+
+
+def sum_distance_cost(oracle: DistanceOracle, team: Iterable[Node]) -> float:
+    """Sum of pairwise distances within the team (alternative objective)."""
+    return oracle.sum_pairwise_distance(team)
+
+
+def cardinality_cost(oracle: DistanceOracle, team: Iterable[Node]) -> float:
+    """Number of team members — useful as a tie-breaking or ablation objective."""
+    return float(len(list(team)))
+
+
+#: Cost functions by name, for configuration files and the CLI.
+COST_FUNCTIONS: Dict[str, CostFunction] = {
+    "diameter": diameter_cost,
+    "sum_distance": sum_distance_cost,
+    "cardinality": cardinality_cost,
+}
+
+
+def get_cost_function(name: str) -> CostFunction:
+    """Look up a cost function by name (case-insensitive)."""
+    key = name.lower()
+    if key not in COST_FUNCTIONS:
+        raise KeyError(
+            f"unknown cost function {name!r}; available: {sorted(COST_FUNCTIONS)}"
+        )
+    return COST_FUNCTIONS[key]

@@ -1,0 +1,96 @@
+"""Exhaustive (optimal) solver for small TFSN instances.
+
+TFSN is NP-hard (Theorem 2.2), so an exact solver is only practical on tiny
+instances — but it is invaluable for testing: the greedy algorithms must never
+report a *compatible covering* team when the exact solver proves none exists,
+and their cost can be compared against the optimum on small graphs.
+
+The solver enumerates teams in order of increasing size over the pool of users
+that own at least one task skill, pruning teams that are already incompatible,
+and returns a minimum-cost team among the smallest feasible and all other
+enumerated feasible teams (the optimum over all subsets is attained by an
+inclusion-minimal team for the diameter cost, because adding members can only
+increase the maximum pairwise distance).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.signed.graph import Node
+from repro.teams.cost import CostFunction, diameter_cost
+from repro.teams.problem import TeamFormationProblem, TeamFormationResult
+
+
+def solve_exact(
+    problem: TeamFormationProblem,
+    cost_function: CostFunction = diameter_cost,
+    max_team_size: Optional[int] = None,
+    max_pool_size: int = 40,
+) -> TeamFormationResult:
+    """Find a minimum-cost compatible covering team by exhaustive enumeration.
+
+    Parameters
+    ----------
+    problem:
+        The TFSN instance.
+    cost_function:
+        Objective to minimise (default: diameter).  The enumeration covers all
+        subsets up to ``max_team_size``, so any monotone cost is handled.
+    max_team_size:
+        Largest team size to consider; default is the task size (a minimal
+        covering team never needs more members than skills).
+    max_pool_size:
+        Safety cap on the candidate pool (users owning at least one task
+        skill); larger pools raise :class:`ValueError` instead of silently
+        taking forever.
+    """
+    task_skills = set(problem.task.skills)
+    pool: Set[Node] = set()
+    for skill in task_skills:
+        pool |= problem.candidates_for_skill(skill)
+    if len(pool) > max_pool_size:
+        raise ValueError(
+            f"candidate pool has {len(pool)} users, above max_pool_size={max_pool_size}; "
+            "the exact solver is intended for small instances only"
+        )
+    limit = max_team_size if max_team_size is not None else len(task_skills)
+    limit = min(limit, len(pool))
+
+    best_team: Optional[FrozenSet[Node]] = None
+    best_cost = float("inf")
+    ordered_pool = sorted(pool, key=repr)
+    for size in range(1, limit + 1):
+        for combo in itertools.combinations(ordered_pool, size):
+            team = frozenset(combo)
+            if not problem.assignment.covers(team, task_skills):
+                continue
+            if not problem.relation.all_compatible(team):
+                continue
+            cost = cost_function(problem.oracle, team)
+            if cost < best_cost:
+                best_cost = cost
+                best_team = team
+    return TeamFormationResult(
+        algorithm="EXACT",
+        relation_name=problem.relation.name,
+        task=problem.task,
+        team=best_team,
+        cost=best_cost,
+        seeds_tried=len(ordered_pool),
+        candidates_completed=1 if best_team is not None else 0,
+    )
+
+
+def exists_compatible_team(
+    problem: TeamFormationProblem,
+    max_pool_size: int = 40,
+) -> bool:
+    """Decision version (TFSNC): does *any* compatible covering team exist?
+
+    Exhaustive, so only usable on small instances; used by tests to validate
+    that the greedy algorithms' failures are genuine.
+    """
+    result = solve_exact(problem, max_pool_size=max_pool_size)
+    return result.solved

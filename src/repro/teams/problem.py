@@ -1,0 +1,139 @@
+"""Problem and result objects for Team Formation in Signed Networks (TFSN).
+
+A :class:`TeamFormationProblem` bundles everything Definition 2.1 of the paper
+needs — the signed graph, the skill assignment, the task, the compatibility
+relation and the distance/cost machinery — so algorithms receive a single
+coherent object.  A :class:`TeamFormationResult` records the outcome in a form
+the experiment harness can aggregate (success flag, team, cost, seeds tried).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterable, Optional
+
+from repro.compatibility.base import CompatibilityRelation
+from repro.compatibility.distance import DistanceOracle
+from repro.compatibility.skill_compat import SkillCompatibilityIndex
+from repro.exceptions import InfeasibleTaskError
+from repro.signed.graph import Node, SignedGraph
+from repro.skills.assignment import SkillAssignment
+from repro.skills.task import Task
+
+
+class TeamFormationProblem:
+    """One instance of the TFSN problem.
+
+    Parameters
+    ----------
+    graph:
+        The signed network of users.
+    assignment:
+        The user ↔ skill assignment.
+    relation:
+        The compatibility relation ``Comp`` the team must satisfy.
+    task:
+        The set of skills to cover.
+    oracle:
+        Optional pre-built :class:`DistanceOracle`; built from ``relation``
+        when omitted.  Sharing an oracle across problems on the same graph
+        reuses its BFS caches.
+    skill_index:
+        Optional pre-built :class:`SkillCompatibilityIndex` used by the
+        "least compatible skill" policy; built lazily when needed.
+    """
+
+    def __init__(
+        self,
+        graph: SignedGraph,
+        assignment: SkillAssignment,
+        relation: CompatibilityRelation,
+        task: Task,
+        oracle: Optional[DistanceOracle] = None,
+        skill_index: Optional[SkillCompatibilityIndex] = None,
+    ) -> None:
+        if relation.graph is not graph:
+            raise ValueError("the relation must be defined over the problem's graph")
+        missing = {
+            skill for skill in task.skills if assignment.skill_frequency(skill) == 0
+        }
+        if missing:
+            raise InfeasibleTaskError(missing)
+        self.graph = graph
+        self.assignment = assignment
+        self.relation = relation
+        self.task = task
+        self.oracle = oracle if oracle is not None else DistanceOracle(relation)
+        self._skill_index = skill_index
+
+    @property
+    def skill_index(self) -> SkillCompatibilityIndex:
+        """The skill compatibility index, built lazily with an existence cap."""
+        if self._skill_index is None:
+            self._skill_index = SkillCompatibilityIndex(
+                self.relation, self.assignment, count_cap=None
+            )
+        return self._skill_index
+
+    def candidates_for_skill(self, skill: Hashable) -> FrozenSet[Node]:
+        """Users of the graph that possess ``skill``."""
+        return frozenset(
+            user for user in self.assignment.users_with(skill) if user in self.graph
+        )
+
+    def compatible_candidates(
+        self, skill: Hashable, team: Iterable[Node]
+    ) -> FrozenSet[Node]:
+        """Users with ``skill`` that are compatible with every current team member."""
+        team_list = list(team)
+        candidates = set()
+        for user in self.candidates_for_skill(skill):
+            if user in team_list:
+                continue
+            # Query with the team member first: the relations cache their
+            # per-source computation, and the members recur across candidates.
+            if all(self.relation.are_compatible(member, user) for member in team_list):
+                candidates.add(user)
+        return frozenset(candidates)
+
+    def __repr__(self) -> str:
+        return (
+            f"TeamFormationProblem(relation={self.relation.name}, "
+            f"task_size={len(self.task)}, users={self.graph.number_of_nodes()})"
+        )
+
+
+@dataclass(frozen=True)
+class TeamFormationResult:
+    """Outcome of one team-formation run.
+
+    ``team`` is ``None`` when no compatible covering team was found; ``cost``
+    is ``inf`` in that case.  ``seeds_tried`` and ``candidates_completed``
+    describe how much of the seed loop of Algorithm 2 succeeded, which the
+    experiments use for diagnostics.
+    """
+
+    algorithm: str
+    relation_name: str
+    task: Task
+    team: Optional[FrozenSet[Node]]
+    cost: float
+    seeds_tried: int = 0
+    candidates_completed: int = 0
+
+    @property
+    def solved(self) -> bool:
+        """True iff a compatible covering team was found."""
+        return self.team is not None
+
+    @property
+    def team_size(self) -> int:
+        """Number of members in the team (0 when unsolved)."""
+        return len(self.team) if self.team is not None else 0
+
+    def __repr__(self) -> str:
+        status = f"team_size={self.team_size}, cost={self.cost}" if self.solved else "unsolved"
+        return (
+            f"TeamFormationResult(algorithm={self.algorithm!r}, "
+            f"relation={self.relation_name!r}, {status})"
+        )

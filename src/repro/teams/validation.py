@@ -1,0 +1,89 @@
+"""Validation of candidate teams against the TFSN requirements.
+
+Used by the algorithms' tests, by the unsigned-baseline comparison (Table 3 —
+"what fraction of the baseline's teams are actually compatible?") and by the
+examples to explain *why* a team is or is not acceptable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.compatibility.base import CompatibilityRelation
+from repro.compatibility.distance import DistanceOracle
+from repro.signed.graph import Node
+from repro.skills.assignment import Skill, SkillAssignment
+from repro.skills.task import Task
+
+
+@dataclass(frozen=True)
+class TeamValidationReport:
+    """Detailed verdict on a candidate team."""
+
+    team: FrozenSet[Node]
+    covers_task: bool
+    missing_skills: FrozenSet[Skill]
+    is_compatible: bool
+    incompatible_pairs: Tuple[Tuple[Node, Node], ...]
+    cost: Optional[float]
+
+    @property
+    def is_valid(self) -> bool:
+        """True iff the team covers the task and is pairwise compatible."""
+        return self.covers_task and self.is_compatible
+
+
+def team_covers_task(team: Iterable[Node], task: Task, assignment: SkillAssignment) -> bool:
+    """True iff the union of the team's skills contains every task skill."""
+    return assignment.covers(team, task.skills)
+
+
+def team_is_compatible(team: Iterable[Node], relation: CompatibilityRelation) -> bool:
+    """True iff every pair of team members is compatible under ``relation``."""
+    return relation.all_compatible(team)
+
+
+def validate_team(
+    team: Iterable[Node],
+    task: Task,
+    assignment: SkillAssignment,
+    relation: CompatibilityRelation,
+    oracle: Optional[DistanceOracle] = None,
+) -> TeamValidationReport:
+    """Produce a full :class:`TeamValidationReport` for ``team``."""
+    team_set = frozenset(team)
+    missing = frozenset(assignment.missing_skills(team_set, task.skills))
+    incompatible = tuple(relation.incompatible_pairs(team_set))
+    cost: Optional[float] = None
+    if oracle is not None and team_set:
+        cost = oracle.max_pairwise_distance(team_set)
+    return TeamValidationReport(
+        team=team_set,
+        covers_task=not missing,
+        missing_skills=missing,
+        is_compatible=not incompatible,
+        incompatible_pairs=incompatible,
+        cost=cost,
+    )
+
+
+def fraction_of_compatible_teams(
+    teams: Iterable[Optional[Iterable[Node]]],
+    relation: CompatibilityRelation,
+) -> float:
+    """Fraction of the given teams whose members are pairwise compatible.
+
+    ``None`` entries (tasks the producing algorithm failed to solve) count as
+    incompatible, matching how the paper's Table 3 treats them.  Returns 0.0
+    for an empty input.
+    """
+    team_list = list(teams)
+    if not team_list:
+        return 0.0
+    compatible = sum(
+        1
+        for team in team_list
+        if team is not None and team_is_compatible(team, relation)
+    )
+    return compatible / len(team_list)

@@ -1,0 +1,23 @@
+"""Small shared utilities: RNG handling, validation helpers, text tables, timing."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.tables import format_table, format_percentage
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    require_positive,
+    require_non_negative,
+    require_probability,
+    require_in_range,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "format_table",
+    "format_percentage",
+    "Timer",
+    "require_positive",
+    "require_non_negative",
+    "require_probability",
+    "require_in_range",
+]

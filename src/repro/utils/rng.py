@@ -1,0 +1,50 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either ``None`` (fresh,
+non-deterministic generator), an integer seed, or an existing
+:class:`random.Random` instance.  :func:`ensure_rng` normalises the three forms
+into a :class:`random.Random` so that call sites never need to special-case.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+RandomState = Union[None, int, random.Random]
+
+
+def ensure_rng(seed: RandomState = None) -> random.Random:
+    """Return a :class:`random.Random` derived from ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a non-deterministic generator, an ``int`` to seed a new
+        generator, or an existing :class:`random.Random` which is returned
+        unchanged (so that state is shared with the caller).
+    """
+    if seed is None:
+        return random.Random()
+    if isinstance(seed, random.Random):
+        return seed
+    if isinstance(seed, bool):  # bool is an int subclass; almost surely a bug
+        raise TypeError("seed must be None, an int, or a random.Random instance")
+    if isinstance(seed, int):
+        return random.Random(seed)
+    raise TypeError(
+        f"seed must be None, an int, or a random.Random instance, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: RandomState, count: int) -> List[random.Random]:
+    """Derive ``count`` independent generators from a single ``seed``.
+
+    The derived generators are deterministic functions of ``seed`` and their
+    index, so experiments that fan out into several stochastic stages stay
+    reproducible while the stages remain statistically independent.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(seed)
+    return [random.Random(root.getrandbits(64)) for _ in range(count)]

@@ -1,0 +1,68 @@
+"""Plain-text table rendering used by the experiment harness and the CLI.
+
+The experiments print their results in the same row/column layout as the
+paper's tables, so a lightweight aligned-text formatter is all that is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_percentage(value: float, decimals: int = 2) -> str:
+    """Format a ratio in ``[0, 1]`` as a percentage string, e.g. ``0.4472 -> '44.72'``."""
+    return f"{100.0 * value:.{decimals}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    align_right: bool = True,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` entries.  Entries
+        are converted with :func:`str`; ``None`` renders as ``'-'`` (the paper
+        uses a dash for the SBP columns it could not compute).
+    title:
+        Optional title printed above the table.
+    align_right:
+        Right-align data columns (numeric tables); the first column is always
+        left-aligned since it usually holds labels.
+    """
+    str_rows: List[List[str]] = []
+    for row in rows:
+        cells = ["-" if cell is None else str(cell) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row {cells!r} has {len(cells)} cells but there are {len(headers)} headers"
+            )
+        str_rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in str_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0 or not align_right:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(cells) for cells in str_rows)
+    return "\n".join(lines)

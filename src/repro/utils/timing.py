@@ -1,0 +1,40 @@
+"""A tiny timing helper used by the experiment runner and the CLI."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context manager measuring wall-clock time in seconds.
+
+    Example
+    -------
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self._elapsed = None
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self._elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed; valid after the ``with`` block (or live inside it)."""
+        if self._start is None:
+            raise RuntimeError("Timer has not been started")
+        if self._elapsed is None:
+            return time.perf_counter() - self._start
+        return self._elapsed

@@ -1,0 +1,41 @@
+"""Argument-validation helpers shared across the library.
+
+These helpers raise :class:`ValueError` (or :class:`TypeError`) with a message
+that names the offending parameter, which keeps the validation at call sites
+down to a single readable line.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+
+
+def require_positive(value: Real, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    _require_real(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: Real, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` is >= 0."""
+    _require_real(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_probability(value: Real, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` lies in the closed interval [0, 1]."""
+    require_in_range(value, name, 0.0, 1.0)
+
+
+def require_in_range(value: Real, name: str, low: Real, high: Real) -> None:
+    """Raise :class:`ValueError` unless ``low <= value <= high``."""
+    _require_real(value, name)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def _require_real(value: Real, name: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")

@@ -1,0 +1,86 @@
+"""Shared pytest fixtures: small deterministic graphs, datasets and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import figure_1a_graph, figure_1b_graph, toy_dataset
+from repro.signed import SignedGraph
+from repro.signed.generators import planted_factions_graph
+from repro.skills import SkillAssignment, Task
+
+
+@pytest.fixture
+def triangle_balanced() -> SignedGraph:
+    """A balanced triangle: one all-positive face (+ + +)."""
+    return SignedGraph.from_edges([(0, 1, +1), (1, 2, +1), (0, 2, +1)])
+
+
+@pytest.fixture
+def triangle_unbalanced() -> SignedGraph:
+    """An unbalanced triangle: two positive edges and one negative (+ + -)."""
+    return SignedGraph.from_edges([(0, 1, +1), (1, 2, +1), (0, 2, -1)])
+
+
+@pytest.fixture
+def two_factions() -> SignedGraph:
+    """A perfectly balanced graph with two hostile factions {0,1,2} and {3,4,5}."""
+    return SignedGraph.from_edges(
+        [
+            (0, 1, +1),
+            (1, 2, +1),
+            (0, 2, +1),
+            (3, 4, +1),
+            (4, 5, +1),
+            (3, 5, +1),
+            (2, 3, -1),
+            (0, 5, -1),
+        ]
+    )
+
+
+@pytest.fixture
+def figure_1a() -> SignedGraph:
+    """The paper's Figure 1(a) example graph."""
+    return figure_1a_graph()
+
+
+@pytest.fixture
+def figure_1b() -> SignedGraph:
+    """The Figure 1(b)-style example graph (prefix property failure)."""
+    return figure_1b_graph()
+
+
+@pytest.fixture
+def toy():
+    """The hand-crafted 12-user dataset."""
+    return toy_dataset()
+
+
+@pytest.fixture
+def small_random_graph() -> SignedGraph:
+    """A small random planted-faction graph (deterministic seed)."""
+    graph, _factions = planted_factions_graph(
+        30, average_degree=3.5, sign_noise=0.1, seed=123
+    )
+    return graph
+
+
+@pytest.fixture
+def simple_assignment() -> SkillAssignment:
+    """A tiny skill assignment used by the skills / team tests."""
+    return SkillAssignment(
+        {
+            "a": {"s1", "s2"},
+            "b": {"s2", "s3"},
+            "c": {"s3"},
+            "d": {"s1", "s4"},
+            "e": set(),
+        }
+    )
+
+
+@pytest.fixture
+def line_graph() -> SignedGraph:
+    """A signed path 0 -+ 1 -- 2 -+ 3 (one negative edge in the middle)."""
+    return SignedGraph.from_edges([(0, 1, +1), (1, 2, -1), (2, 3, +1)])

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["datasets"]).command == "datasets"
+        assert parser.parse_args(["compatibility", "toy"]).command == "compatibility"
+        assert parser.parse_args(["team", "toy", "python"]).command == "team"
+        assert parser.parse_args(["reproduce", "--fast"]).fast is True
+
+
+class TestDatasetsCommand:
+    def test_lists_datasets(self, capsys):
+        exit_code = main(["datasets", "--scale", "0.02"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "toy" in captured.out
+        assert "slashdot" in captured.out
+
+
+class TestCompatibilityCommand:
+    def test_reports_relations(self, capsys):
+        exit_code = main(["compatibility", "toy", "--relations", "SPA,SPO,NNE"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in ("SPA", "SPO", "NNE"):
+            assert name in captured.out
+
+
+class TestTeamCommand:
+    def test_successful_team(self, capsys):
+        exit_code = main(["team", "toy", "python,databases", "--relation", "SPO"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Team (" in captured.out
+
+    def test_unsolvable_task_returns_one(self, capsys):
+        exit_code = main(
+            ["team", "toy", "python,databases,design,writing", "--relation", "DPE"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "No compatible team" in captured.out
+
+    def test_unknown_skill_returns_two(self, capsys):
+        exit_code = main(["team", "toy", "quantum"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error" in captured.err.lower()
+
+    def test_empty_skill_list_returns_two(self):
+        assert main(["team", "toy", " , "]) == 2

@@ -1,0 +1,229 @@
+"""Tests for pairwise compatibility statistics, distances and skill compatibility."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.compatibility import (
+    CompatibilityMatrix,
+    DistanceOracle,
+    SkillCompatibilityIndex,
+    average_compatible_distance,
+    exact_pair_statistics,
+    make_relation,
+    pair_statistics,
+    relation_overlap,
+    sampled_pair_statistics,
+    skill_pair_statistics,
+    source_sampled_pair_statistics,
+    task_has_compatible_skills,
+)
+from repro.skills import SkillAssignment
+
+
+class TestPairStatistics:
+    def test_exact_statistics_on_two_factions(self, two_factions):
+        relation = make_relation("SPA", two_factions)
+        stats = exact_pair_statistics(relation)
+        assert stats.evaluated_pairs == 15
+        # SPA on the balanced two-faction graph: exactly the intra-faction pairs.
+        assert stats.compatible_pairs == 6
+        assert stats.fraction == pytest.approx(6 / 15)
+        assert stats.percentage == pytest.approx(40.0)
+        assert not stats.sampled
+
+    def test_nne_statistics(self, two_factions):
+        stats = exact_pair_statistics(make_relation("NNE", two_factions))
+        assert stats.compatible_pairs == 13  # all pairs except the two negative edges
+
+    def test_matrix_matches_exact_statistics(self, two_factions):
+        relation = make_relation("SPO", two_factions)
+        matrix = CompatibilityMatrix(relation)
+        assert matrix.statistics().compatible_pairs == exact_pair_statistics(relation).compatible_pairs
+        assert matrix.are_compatible(0, 1)
+        assert matrix.are_compatible(3, 3)
+        assert 1 in matrix.compatible_with(0)
+
+    def test_sampled_statistics_reasonable(self, small_random_graph):
+        relation = make_relation("SPO", small_random_graph)
+        exact = exact_pair_statistics(relation)
+        sampled = sampled_pair_statistics(relation, 2000, seed=3)
+        assert sampled.sampled
+        assert abs(sampled.fraction - exact.fraction) < 0.15
+
+    def test_source_sampled_statistics_reasonable(self, small_random_graph):
+        relation = make_relation("SPO", small_random_graph)
+        exact = exact_pair_statistics(relation)
+        sampled = source_sampled_pair_statistics(relation, 10, seed=3)
+        assert sampled.sampled
+        assert abs(sampled.fraction - exact.fraction) < 0.2
+
+    def test_source_sampled_all_sources_matches_exact(self, two_factions):
+        relation = make_relation("SPA", two_factions)
+        exact = exact_pair_statistics(relation)
+        sampled = source_sampled_pair_statistics(relation, 100, seed=1)
+        # Sampling every node counts each unordered pair twice; fractions agree.
+        assert sampled.fraction == pytest.approx(exact.fraction)
+
+    def test_pair_statistics_switches_mode(self, two_factions):
+        relation = make_relation("SPA", two_factions)
+        assert not pair_statistics(relation, max_exact_nodes=10).sampled
+        assert pair_statistics(relation, max_exact_nodes=2, num_sampled_sources=3).sampled
+
+    def test_invalid_sample_sizes(self, two_factions):
+        relation = make_relation("SPA", two_factions)
+        with pytest.raises(ValueError):
+            sampled_pair_statistics(relation, 0)
+        with pytest.raises(ValueError):
+            source_sampled_pair_statistics(relation, 0)
+
+    def test_empty_fraction_is_zero(self):
+        from repro.compatibility.matrix import PairStatistics
+
+        stats = PairStatistics("SPA", 0, 0, sampled=False)
+        assert stats.fraction == 0.0
+
+
+class TestRelationOverlap:
+    def test_overlap_of_relation_with_itself_is_one(self, two_factions):
+        relation = make_relation("SPO", two_factions)
+        assert relation_overlap(relation, relation) == 1.0
+
+    def test_overlap_detects_differences(self, figure_1b):
+        sbp = make_relation("SBP", figure_1b)
+        sbph = make_relation("SBPH", figure_1b)
+        overlap = relation_overlap(sbp, sbph)
+        assert 0.0 < overlap < 1.0
+
+    def test_explicit_pair_list(self, figure_1b):
+        sbp = make_relation("SBP", figure_1b)
+        sbph = make_relation("SBPH", figure_1b)
+        assert relation_overlap(sbp, sbph, pairs=[("u", "v")]) == 0.0
+        assert relation_overlap(sbp, sbph, pairs=[("u", "x4")]) == 1.0
+
+    def test_mismatched_graphs_rejected(self, two_factions, figure_1a):
+        with pytest.raises(ValueError):
+            relation_overlap(make_relation("SPO", two_factions), make_relation("SPO", figure_1a))
+
+
+class TestDistanceOracle:
+    def test_sp_relation_uses_plain_shortest_paths(self, two_factions):
+        oracle = DistanceOracle(make_relation("SPO", two_factions))
+        assert oracle.distance(0, 1) == 1
+        assert oracle.distance(1, 4) == 3
+        assert oracle.distance(2, 2) == 0.0
+
+    def test_balanced_relation_uses_balanced_paths(self, figure_1a):
+        oracle = DistanceOracle(make_relation("SBP", figure_1a))
+        # Plain shortest path u-v has length 2 but the balanced positive path has 4.
+        assert oracle.distance("u", "v") == 4
+
+    def test_nne_uses_sign_agnostic_distance(self, figure_1a):
+        oracle = DistanceOracle(make_relation("NNE", figure_1a))
+        assert oracle.distance("u", "v") == 2
+
+    def test_unreachable_distance_is_infinite(self):
+        from repro.signed import SignedGraph
+
+        graph = SignedGraph.from_edges([(0, 1, +1)], nodes=["iso"])
+        oracle = DistanceOracle(make_relation("SPO", graph))
+        assert oracle.distance(0, "iso") == float("inf")
+
+    def test_max_and_sum_pairwise(self, two_factions):
+        oracle = DistanceOracle(make_relation("NNE", two_factions))
+        assert oracle.max_pairwise_distance([0, 1, 2]) == 1
+        assert oracle.sum_pairwise_distance([0, 1, 2]) == 3
+        assert oracle.max_pairwise_distance([0]) == 0.0
+
+    def test_distance_to_set(self, two_factions):
+        oracle = DistanceOracle(make_relation("NNE", two_factions))
+        assert oracle.distance_to_set(4, [0, 1]) == 3
+        assert oracle.distance_to_set(4, []) == 0.0
+
+    def test_average_compatible_distance_exact(self, two_factions):
+        relation = make_relation("SPA", two_factions)
+        average, pairs = average_compatible_distance(relation)
+        assert pairs == 6
+        assert average == pytest.approx(1.0)  # intra-faction pairs are all adjacent
+
+    def test_average_compatible_distance_sampled(self, small_random_graph):
+        relation = make_relation("SPO", small_random_graph)
+        exact_avg, _ = average_compatible_distance(relation)
+        sampled_avg, pairs = average_compatible_distance(
+            relation, max_exact_nodes=2, num_sampled_sources=10, seed=5
+        )
+        assert pairs > 0
+        assert abs(sampled_avg - exact_avg) < 1.0
+
+
+class TestSkillCompatibility:
+    @pytest.fixture
+    def skills(self, two_factions):
+        return SkillAssignment(
+            {
+                0: {"alpha"},
+                1: {"beta"},
+                2: {"gamma"},
+                3: {"alpha"},
+                4: {"beta"},
+                5: {"gamma", "delta"},
+            }
+        )
+
+    def test_pair_degree_counts_compatible_pairs(self, two_factions, skills):
+        index = SkillCompatibilityIndex(make_relation("SPA", two_factions), skills)
+        # alpha = {0, 3}, beta = {1, 4}: compatible pairs are (0,1) and (3,4).
+        assert index.pair_degree("alpha", "beta") == 2
+        assert index.skills_compatible("alpha", "beta")
+
+    def test_self_compatibility_counts(self, two_factions, skills):
+        index = SkillCompatibilityIndex(make_relation("SPA", two_factions), skills)
+        # User 5 holds both gamma and delta: self-compatibility counts.
+        assert index.pair_degree("gamma", "delta") >= 1
+
+    def test_count_cap_short_circuits(self, two_factions, skills):
+        index = SkillCompatibilityIndex(
+            make_relation("SPA", two_factions), skills, count_cap=1
+        )
+        assert index.pair_degree("alpha", "beta") == 1
+
+    def test_skill_degree_sums_pairs(self, two_factions, skills):
+        index = SkillCompatibilityIndex(make_relation("SPA", two_factions), skills)
+        expected = sum(
+            index.pair_degree("alpha", other)
+            for other in skills.skills()
+            if other != "alpha"
+        )
+        assert index.skill_degree("alpha") == expected
+
+    def test_rank_skills_by_degree_is_ascending(self, two_factions, skills):
+        index = SkillCompatibilityIndex(make_relation("SPA", two_factions), skills)
+        ranked = index.rank_skills_by_degree(["alpha", "beta", "gamma", "delta"])
+        degrees = [
+            index.skill_degree(skill, others=["alpha", "beta", "gamma", "delta"])
+            for skill in ranked
+        ]
+        assert degrees == sorted(degrees)
+
+    def test_skill_pair_statistics_exact(self, two_factions, skills):
+        index = SkillCompatibilityIndex(make_relation("SPA", two_factions), skills)
+        stats = skill_pair_statistics(index)
+        assert stats.evaluated_skill_pairs == 6
+        assert 0 < stats.compatible_skill_pairs <= 6
+        assert not stats.sampled
+
+    def test_skill_pair_statistics_sampled(self, two_factions, skills):
+        index = SkillCompatibilityIndex(make_relation("SPA", two_factions), skills)
+        stats = skill_pair_statistics(index, max_exact_skills=0, num_sampled_pairs=50, seed=2)
+        assert stats.sampled
+        assert stats.evaluated_skill_pairs == 50
+
+    def test_task_has_compatible_skills(self, two_factions, skills):
+        index = SkillCompatibilityIndex(make_relation("SPA", two_factions), skills)
+        assert task_has_compatible_skills(index, ["alpha", "beta"])
+        # gamma holders are 2 and 5 (different factions); alpha holders 0 and 3.
+        # Under SPA (balanced graph = same faction), gamma-alpha is still
+        # compatible via (0, 2); check a genuinely incompatible combination:
+        assert index.pair_degree("alpha", "gamma") >= 1

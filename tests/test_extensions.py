@@ -1,0 +1,253 @@
+"""Tests for the future-work extensions: clustering, sign prediction, top-k teams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compatibility import make_relation
+from repro.datasets import toy_dataset
+from repro.signed import (
+    NEGATIVE,
+    POSITIVE,
+    AlwaysPositivePredictor,
+    CompatibilityPredictor,
+    ShortestPathSignPredictor,
+    SignedGraph,
+    TriangleVotePredictor,
+    compare_predictors,
+    evaluate_predictor,
+    greedy_balance_partition,
+    partition_agreement,
+    partition_quality,
+    propagate_balance_partition,
+)
+from repro.signed.generators import planted_factions_graph
+from repro.skills import Task
+from repro.teams import (
+    LeastCompatibleSkillFirst,
+    MinimumDistanceUser,
+    TeamFormationProblem,
+    diverse_top_k_teams,
+    team_covers_task,
+    team_is_compatible,
+    top_k_teams,
+)
+
+
+class TestPartitionQuality:
+    def test_perfect_partition_has_zero_frustration(self, two_factions):
+        partition = {0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1}
+        quality = partition_quality(two_factions, partition)
+        assert quality.frustrated_edges == 0
+        assert quality.agreement_ratio == 1.0
+        assert quality.num_clusters == 2
+
+    def test_single_cluster_counts_negative_within(self, two_factions):
+        partition = {node: 0 for node in two_factions.nodes()}
+        quality = partition_quality(two_factions, partition)
+        assert quality.negative_within == 2
+        assert quality.positive_cut == 0
+        assert quality.frustration_ratio == pytest.approx(2 / 8)
+
+    def test_missing_node_rejected(self, two_factions):
+        with pytest.raises(ValueError):
+            partition_quality(two_factions, {0: 0})
+
+    def test_empty_graph(self):
+        quality = partition_quality(SignedGraph(), {})
+        assert quality.frustration_ratio == 0.0
+
+
+class TestPropagatePartition:
+    def test_recovers_balanced_two_factions(self, two_factions):
+        partition = propagate_balance_partition(two_factions)
+        assert partition_quality(two_factions, partition).frustrated_edges == 0
+        planted = {0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1}
+        assert partition_agreement(partition, planted) == 1.0
+
+    def test_handles_disconnected_graphs(self):
+        graph = SignedGraph.from_edges([(0, 1, +1), (5, 6, -1)])
+        partition = propagate_balance_partition(graph)
+        assert set(partition) == {0, 1, 5, 6}
+
+
+class TestGreedyPartition:
+    def test_zero_frustration_on_balanced_graph(self, two_factions):
+        partition, quality = greedy_balance_partition(two_factions, seed=1)
+        assert quality.frustrated_edges == 0
+        assert partition_quality(two_factions, partition) == quality
+
+    def test_recovers_planted_factions_approximately(self):
+        graph, factions = planted_factions_graph(
+            80, average_degree=6.0, sign_noise=0.05, seed=3
+        )
+        partition, quality = greedy_balance_partition(graph, restarts=4, seed=3)
+        assert quality.frustration_ratio < 0.15
+        assert partition_agreement(partition, factions) > 0.8
+
+    def test_initial_assignment_is_used(self, two_factions):
+        planted = {0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1}
+        partition, quality = greedy_balance_partition(
+            two_factions, restarts=1, seed=1, initial=planted
+        )
+        assert quality.frustrated_edges == 0
+
+    def test_more_clusters_never_hurt_frustration(self, small_random_graph):
+        _, two = greedy_balance_partition(small_random_graph, num_clusters=2, restarts=3, seed=2)
+        _, four = greedy_balance_partition(small_random_graph, num_clusters=4, restarts=3, seed=2)
+        assert four.frustrated_edges <= two.frustrated_edges + 2
+
+    def test_invalid_arguments(self, two_factions):
+        with pytest.raises(ValueError):
+            greedy_balance_partition(two_factions, num_clusters=0)
+        with pytest.raises(ValueError):
+            greedy_balance_partition(two_factions, restarts=0)
+
+    def test_empty_graph(self):
+        partition, quality = greedy_balance_partition(SignedGraph(), seed=1)
+        assert partition == {}
+        assert quality.total_edges == 0
+
+
+class TestPartitionAgreement:
+    def test_identical_partitions(self):
+        partition = {0: 0, 1: 1, 2: 0}
+        assert partition_agreement(partition, partition) == 1.0
+
+    def test_label_permutation_is_ignored(self):
+        first = {0: 0, 1: 0, 2: 1}
+        second = {0: 5, 1: 5, 2: 9}
+        assert partition_agreement(first, second) == 1.0
+
+    def test_disagreement_detected(self):
+        first = {0: 0, 1: 0, 2: 0}
+        second = {0: 0, 1: 1, 2: 2}
+        assert partition_agreement(first, second) == 0.0
+
+    def test_single_common_node(self):
+        assert partition_agreement({0: 0}, {0: 1}) == 1.0
+
+
+class TestSignPredictors:
+    @pytest.fixture
+    def balanced_graph(self):
+        graph, _ = planted_factions_graph(60, average_degree=6.0, sign_noise=0.0, seed=11)
+        return graph
+
+    def test_always_positive(self, two_factions):
+        predictor = AlwaysPositivePredictor(two_factions)
+        assert predictor.predict(0, 3) == POSITIVE
+
+    def test_triangle_vote_completes_balanced_triangle(self):
+        graph = SignedGraph.from_edges([(0, 1, +1), (1, 2, -1)])
+        assert TriangleVotePredictor(graph).predict(0, 2) == NEGATIVE
+        graph2 = SignedGraph.from_edges([(0, 1, -1), (1, 2, -1)])
+        assert TriangleVotePredictor(graph2).predict(0, 2) == POSITIVE
+
+    def test_triangle_vote_falls_back_to_default(self):
+        graph = SignedGraph.from_edges([(0, 1, +1), (2, 3, +1)])
+        assert TriangleVotePredictor(graph, default=NEGATIVE).predict(0, 2) == NEGATIVE
+
+    def test_shortest_path_sign_predictor(self, line_graph):
+        predictor = ShortestPathSignPredictor(line_graph)
+        assert predictor.predict(0, 1) == POSITIVE
+        assert predictor.predict(0, 2) == NEGATIVE
+
+    def test_compatibility_predictor_uses_relation(self, two_factions):
+        predictor = CompatibilityPredictor(
+            two_factions, lambda graph: make_relation("SPA", graph)
+        )
+        assert predictor.predict(0, 1) == POSITIVE
+        assert predictor.predict(0, 4) == NEGATIVE
+        assert predictor.name == "compatibility-SPA"
+
+    def test_evaluate_predictor_accuracy_on_balanced_graph(self, balanced_graph):
+        report = evaluate_predictor(
+            balanced_graph,
+            lambda graph: ShortestPathSignPredictor(graph),
+            test_fraction=0.2,
+            seed=5,
+        )
+        assert report.evaluated_edges > 0
+        assert report.accuracy > 0.7
+        assert 0.0 <= report.positive_recall <= 1.0
+        assert 0.0 <= report.negative_recall <= 1.0
+
+    def test_structure_aware_beats_always_positive_on_negative_recall(self, balanced_graph):
+        reports = compare_predictors(
+            balanced_graph,
+            [
+                lambda graph: AlwaysPositivePredictor(graph),
+                lambda graph: TriangleVotePredictor(graph),
+            ],
+            test_fraction=0.2,
+            seed=7,
+        )
+        always_positive, triangle = reports
+        assert always_positive.negative_recall == 0.0
+        assert triangle.negative_recall >= always_positive.negative_recall
+
+    def test_evaluate_predictor_rejects_empty_graph(self):
+        with pytest.raises(ValueError):
+            evaluate_predictor(SignedGraph(), AlwaysPositivePredictor)
+
+    def test_compare_predictors_share_test_set(self, balanced_graph):
+        reports = compare_predictors(
+            balanced_graph,
+            [lambda g: AlwaysPositivePredictor(g), lambda g: AlwaysPositivePredictor(g)],
+            seed=3,
+        )
+        assert reports[0].evaluated_edges == reports[1].evaluated_edges
+        assert reports[0].actual_positive == reports[1].actual_positive
+
+
+class TestTopKTeams:
+    @pytest.fixture
+    def problem(self):
+        dataset = toy_dataset()
+        relation = make_relation("SPO", dataset.graph)
+        task = Task(["python", "databases", "writing"])
+        return TeamFormationProblem(dataset.graph, dataset.skills, relation, task)
+
+    def test_teams_are_sorted_by_cost_and_valid(self, problem):
+        teams = top_k_teams(
+            problem, LeastCompatibleSkillFirst(), MinimumDistanceUser(), k=3
+        )
+        assert 1 <= len(teams) <= 3
+        costs = [cost for _, cost in teams]
+        assert costs == sorted(costs)
+        for team, cost in teams:
+            assert team_covers_task(team, problem.task, problem.assignment)
+            assert team_is_compatible(team, problem.relation)
+            assert cost == problem.oracle.max_pairwise_distance(team)
+
+    def test_teams_are_distinct(self, problem):
+        teams = top_k_teams(
+            problem, LeastCompatibleSkillFirst(), MinimumDistanceUser(), k=5
+        )
+        team_sets = [team for team, _ in teams]
+        assert len(team_sets) == len(set(team_sets))
+
+    def test_diverse_teams_respect_overlap_bound(self, problem):
+        teams = diverse_top_k_teams(
+            problem,
+            LeastCompatibleSkillFirst(),
+            MinimumDistanceUser(),
+            k=3,
+            max_overlap=0.34,
+        )
+        for i, (first, _) in enumerate(teams):
+            for second, _ in teams[i + 1 :]:
+                overlap = len(first & second) / len(first | second)
+                assert overlap <= 0.34 + 1e-9
+
+    def test_invalid_arguments(self, problem):
+        with pytest.raises(ValueError):
+            top_k_teams(problem, LeastCompatibleSkillFirst(), MinimumDistanceUser(), k=0)
+        with pytest.raises(ValueError):
+            diverse_top_k_teams(
+                problem,
+                LeastCompatibleSkillFirst(),
+                MinimumDistanceUser(),
+                max_overlap=1.5,
+            )

@@ -1,0 +1,257 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants.
+
+Strategies generate small random signed graphs (and skill assignments) so the
+invariants are checked on hundreds of structurally diverse inputs:
+
+* SignedGraph bookkeeping (edge/sign counters, copies, subgraphs);
+* Algorithm 1 (signed BFS) against brute-force path enumeration;
+* structural-balance characterisations (two-colouring vs triangle parity);
+* the required properties and containment chain of the compatibility relations;
+* team-formation outputs (coverage, compatibility, cost consistency).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compatibility import DistanceOracle, make_relation
+from repro.signed import (
+    NEGATIVE,
+    POSITIVE,
+    SignedGraph,
+    all_shortest_paths,
+    harary_bipartition,
+    is_balanced,
+    signed_bfs,
+)
+from repro.signed.balance import triangle_census
+from repro.signed.components import largest_connected_component
+from repro.skills import SkillAssignment, Task
+from repro.teams import TeamFormationProblem, run_algorithm, team_covers_task, team_is_compatible
+
+# --------------------------------------------------------------------------- strategies
+
+
+@st.composite
+def signed_graphs(draw, min_nodes=2, max_nodes=9, connected=False):
+    """Generate a small random signed graph (optionally its largest component)."""
+    num_nodes = draw(st.integers(min_nodes, max_nodes))
+    nodes = list(range(num_nodes))
+    possible_edges = list(itertools.combinations(nodes, 2))
+    chosen = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=len(possible_edges))
+    ) if possible_edges else []
+    signs = draw(
+        st.lists(st.sampled_from([POSITIVE, NEGATIVE]), min_size=len(chosen), max_size=len(chosen))
+    )
+    graph = SignedGraph.from_edges(
+        [(u, v, sign) for (u, v), sign in zip(chosen, signs)], nodes=nodes
+    )
+    if connected:
+        graph = largest_connected_component(graph)
+    return graph
+
+
+@st.composite
+def graphs_with_skills(draw):
+    """A connected signed graph plus a random skill assignment over 3 skills."""
+    graph = draw(signed_graphs(min_nodes=3, max_nodes=8, connected=True))
+    skills = ["s1", "s2", "s3"]
+    assignment = SkillAssignment()
+    for node in graph.nodes():
+        node_skills = draw(
+            st.lists(st.sampled_from(skills), min_size=1, max_size=3, unique=True)
+        )
+        assignment.add_user(node, node_skills)
+    return graph, assignment
+
+
+SLOW_OK = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ----------------------------------------------------------------------- graph invariants
+
+
+class TestGraphInvariants:
+    @SLOW_OK
+    @given(signed_graphs())
+    def test_edge_counters_consistent(self, graph):
+        edges = list(graph.edges())
+        assert len(edges) == graph.number_of_edges()
+        positives = sum(1 for edge in edges if edge.is_positive())
+        assert positives == graph.number_of_positive_edges()
+        assert graph.number_of_edges() - positives == graph.number_of_negative_edges()
+
+    @SLOW_OK
+    @given(signed_graphs())
+    def test_copy_equals_original(self, graph):
+        assert graph.copy() == graph
+
+    @SLOW_OK
+    @given(signed_graphs(min_nodes=3))
+    def test_subgraph_edges_are_subset(self, graph):
+        nodes = graph.nodes()[: max(1, len(graph.nodes()) // 2)]
+        sub = graph.subgraph(nodes)
+        for u, v, sign in sub.edge_triples():
+            assert graph.sign(u, v) == sign
+        assert set(sub.nodes()) == set(nodes)
+
+    @SLOW_OK
+    @given(signed_graphs())
+    def test_degree_sum_is_twice_edges(self, graph):
+        assert sum(graph.degree(node) for node in graph.nodes()) == 2 * graph.number_of_edges()
+
+
+# ------------------------------------------------------------------- Algorithm 1 / paths
+
+
+class TestSignedBFSProperties:
+    @SLOW_OK
+    @given(signed_graphs(min_nodes=3, max_nodes=8, connected=True))
+    def test_counts_match_brute_force_enumeration(self, graph):
+        nodes = graph.nodes()
+        source = nodes[0]
+        result = signed_bfs(graph, source)
+        for target in nodes[1:]:
+            paths = all_shortest_paths(graph, source, target)
+            expected_positive = sum(1 for p in paths if graph.path_sign(p) == POSITIVE)
+            expected_negative = len(paths) - expected_positive
+            assert result.counts(target) == (expected_positive, expected_negative)
+            if paths:
+                assert result.length(target) == len(paths[0]) - 1
+
+    @SLOW_OK
+    @given(signed_graphs(min_nodes=3, max_nodes=8, connected=True))
+    def test_total_counts_equal_number_of_shortest_paths(self, graph):
+        nodes = graph.nodes()
+        result = signed_bfs(graph, nodes[0])
+        for target in nodes[1:]:
+            positive, negative = result.counts(target)
+            assert positive + negative == len(all_shortest_paths(graph, nodes[0], target))
+
+
+# ------------------------------------------------------------------------ balance theory
+
+
+class TestBalanceProperties:
+    @SLOW_OK
+    @given(signed_graphs())
+    def test_two_colouring_matches_triangle_parity_for_complete_graphs(self, graph):
+        # For any graph: if balanced, every triangle must have an even number
+        # of negative edges (the converse only holds for complete graphs).
+        if is_balanced(graph):
+            census = triangle_census(graph)
+            assert census["++-"] == 0 and census["---"] == 0
+
+    @SLOW_OK
+    @given(signed_graphs())
+    def test_partition_witnesses_balance(self, graph):
+        report = harary_bipartition(graph)
+        if not report.balanced:
+            return
+        camp_a, camp_b = report.partition
+        camp = {node: 0 for node in camp_a}
+        camp.update({node: 1 for node in camp_b})
+        for u, v, sign in graph.edge_triples():
+            if sign == POSITIVE:
+                assert camp[u] == camp[v]
+            else:
+                assert camp[u] != camp[v]
+
+    @SLOW_OK
+    @given(signed_graphs(min_nodes=3))
+    def test_flipping_all_signs_of_balanced_graph_keeps_even_cycles(self, graph):
+        # Balance is preserved by flipping the signs of all edges incident to
+        # one node (a "switching"): a classic signed-graph invariant.
+        if graph.number_of_nodes() == 0:
+            return
+        node = graph.nodes()[0]
+        switched = graph.copy()
+        for neighbor in list(switched.neighbors(node)):
+            switched.set_sign(node, neighbor, -switched.sign(node, neighbor))
+        assert is_balanced(switched) == is_balanced(graph)
+
+
+# ------------------------------------------------------------------ compatibility chain
+
+
+class TestCompatibilityProperties:
+    @SLOW_OK
+    @given(signed_graphs(min_nodes=3, max_nodes=7, connected=True))
+    def test_required_properties_for_every_relation(self, graph):
+        for name in ("DPE", "SPA", "SPM", "SPO", "SBPH", "SBP", "NNE"):
+            relation = make_relation(name, graph)
+            assert relation.satisfies_positive_edge_compatibility()
+            assert relation.satisfies_negative_edge_incompatibility()
+
+    @SLOW_OK
+    @given(signed_graphs(min_nodes=3, max_nodes=7, connected=True))
+    def test_containment_chain(self, graph):
+        nodes = graph.nodes()
+        pairs = {}
+        for name in ("DPE", "SPA", "SPM", "SPO", "SBPH", "SBP", "NNE"):
+            relation = make_relation(name, graph)
+            pairs[name] = {
+                (u, v)
+                for i, u in enumerate(nodes)
+                for v in nodes[i + 1 :]
+                if relation.are_compatible(u, v)
+            }
+        assert pairs["DPE"] <= pairs["SPA"]
+        assert pairs["SPA"] <= pairs["SPM"]
+        assert pairs["SPM"] <= pairs["SPO"]
+        assert pairs["SBPH"] <= pairs["SBP"]
+        assert pairs["SBP"] <= pairs["NNE"]
+
+    @SLOW_OK
+    @given(signed_graphs(min_nodes=3, max_nodes=7, connected=True))
+    def test_symmetry_of_sp_relations(self, graph):
+        nodes = graph.nodes()
+        for name in ("SPA", "SPM", "SPO", "SBP"):
+            relation = make_relation(name, graph)
+            for u, v in itertools.combinations(nodes, 2):
+                assert relation.are_compatible(u, v) == relation.are_compatible(v, u)
+
+    @SLOW_OK
+    @given(signed_graphs(min_nodes=3, max_nodes=7, connected=True))
+    def test_balanced_relation_distance_consistency(self, graph):
+        relation = make_relation("SBP", graph)
+        oracle = DistanceOracle(relation)
+        nodes = graph.nodes()
+        for u, v in itertools.combinations(nodes, 2):
+            distance = oracle.distance(u, v)
+            if relation.are_compatible(u, v):
+                # Compatible pairs have a finite positive-balanced-path distance
+                # at least as long as the unsigned shortest path.
+                assert distance < float("inf")
+            else:
+                assert distance == float("inf")
+
+
+# ------------------------------------------------------------------------ team formation
+
+
+class TestTeamFormationProperties:
+    @SLOW_OK
+    @given(graphs_with_skills(), st.sampled_from(["LCMD", "RFMD", "RANDOM"]))
+    def test_returned_teams_are_always_valid(self, graph_and_skills, algorithm):
+        graph, assignment = graph_and_skills
+        task = Task(["s1", "s2"])
+        if not task.is_coverable(assignment):
+            return
+        relation = make_relation("SPO", graph)
+        problem = TeamFormationProblem(graph, assignment, relation, task)
+        result = run_algorithm(algorithm, problem, seed=0)
+        if result.solved:
+            assert team_covers_task(result.team, task, assignment)
+            assert team_is_compatible(result.team, relation)
+            assert result.cost == problem.oracle.max_pairwise_distance(result.team)
+        else:
+            assert result.cost == float("inf")

@@ -1,0 +1,125 @@
+"""Tests for structural-balance analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.signed import (
+    NEGATIVE,
+    POSITIVE,
+    SignedGraph,
+    harary_bipartition,
+    induced_subgraph_is_balanced,
+    is_balanced,
+    path_is_balanced,
+    triangle_census,
+)
+from repro.signed.balance import balanced_triangle_fraction, frustration_index_greedy
+
+
+class TestHararyBipartition:
+    def test_all_positive_graph_is_balanced(self, triangle_balanced):
+        report = harary_bipartition(triangle_balanced)
+        assert report.balanced
+        camp_a, camp_b = report.partition
+        assert camp_a | camp_b == {0, 1, 2}
+        assert camp_b == frozenset()
+
+    def test_unbalanced_triangle_detected(self, triangle_unbalanced):
+        report = harary_bipartition(triangle_unbalanced)
+        assert not report.balanced
+        assert report.violating_edge is not None
+        u, v = report.violating_edge
+        assert triangle_unbalanced.has_edge(u, v)
+
+    def test_two_faction_graph_partition_matches_factions(self, two_factions):
+        report = harary_bipartition(two_factions)
+        assert report.balanced
+        camps = {frozenset(camp) for camp in report.partition}
+        assert frozenset({0, 1, 2}) in camps
+        assert frozenset({3, 4, 5}) in camps
+
+    def test_all_negative_triangle_is_unbalanced(self):
+        graph = SignedGraph.from_edges([(0, 1, -1), (1, 2, -1), (0, 2, -1)])
+        assert not is_balanced(graph)
+
+    def test_two_negative_one_positive_triangle_is_balanced(self):
+        graph = SignedGraph.from_edges([(0, 1, -1), (1, 2, -1), (0, 2, +1)])
+        assert is_balanced(graph)
+
+    def test_disconnected_components_handled(self):
+        graph = SignedGraph.from_edges([(0, 1, +1), (2, 3, -1)])
+        assert is_balanced(graph)
+
+    def test_empty_graph_is_balanced(self):
+        assert is_balanced(SignedGraph())
+
+    def test_negative_cycle_of_even_length_balanced(self):
+        graph = SignedGraph.from_edges([(0, 1, -1), (1, 2, -1), (2, 3, -1), (3, 0, -1)])
+        assert is_balanced(graph)
+
+    def test_negative_cycle_of_odd_length_unbalanced(self):
+        graph = SignedGraph.from_edges(
+            [(0, 1, -1), (1, 2, -1), (2, 3, -1), (3, 4, -1), (4, 0, -1)]
+        )
+        assert not is_balanced(graph)
+
+
+class TestInducedBalance:
+    def test_induced_subset_of_unbalanced_graph_can_be_balanced(self, triangle_unbalanced):
+        assert induced_subgraph_is_balanced(triangle_unbalanced, [0, 1])
+        assert not induced_subgraph_is_balanced(triangle_unbalanced, [0, 1, 2])
+
+    def test_path_is_balanced_uses_shortcut_edges(self, figure_1a):
+        # The positive path (u, x2, x1, v) is NOT balanced because the shortcut
+        # edge (u, x1) closes an unbalanced triangle.
+        assert not path_is_balanced(figure_1a, ["u", "x2", "x1", "v"])
+        # The longer positive path is balanced (its induced subgraph is a tree).
+        assert path_is_balanced(figure_1a, ["u", "x2", "x3", "x4", "v"])
+
+    def test_single_node_path_is_balanced(self, figure_1a):
+        assert path_is_balanced(figure_1a, ["u"])
+
+
+class TestTriangleCensus:
+    def test_census_counts_types(self, two_factions):
+        census = triangle_census(two_factions)
+        assert census["+++"] == 2  # one all-positive triangle per faction
+        assert sum(census.values()) == 2
+
+    def test_unbalanced_triangle_counted(self, triangle_unbalanced):
+        census = triangle_census(triangle_unbalanced)
+        assert census["++-"] == 1
+        assert sum(census.values()) == 1
+
+    def test_balanced_fraction_no_triangles(self, line_graph):
+        assert balanced_triangle_fraction(line_graph) == 1.0
+
+    def test_balanced_fraction_mixed(self):
+        graph = SignedGraph.from_edges(
+            [
+                (0, 1, +1), (1, 2, +1), (0, 2, +1),       # balanced (+++)
+                (3, 4, +1), (4, 5, +1), (3, 5, -1),       # unbalanced (++-)
+            ]
+        )
+        assert balanced_triangle_fraction(graph) == pytest.approx(0.5)
+
+
+class TestFrustrationIndex:
+    def test_balanced_graph_has_zero_frustration(self, two_factions):
+        count, assignment = frustration_index_greedy(two_factions, seed=1)
+        assert count == 0
+        assert set(assignment) == set(two_factions.nodes())
+
+    def test_unbalanced_triangle_has_one_frustrated_edge(self, triangle_unbalanced):
+        count, _ = frustration_index_greedy(triangle_unbalanced, iterations=5, seed=3)
+        assert count == 1
+
+    def test_invalid_iterations_rejected(self, triangle_balanced):
+        with pytest.raises(ValueError):
+            frustration_index_greedy(triangle_balanced, iterations=0)
+
+    def test_deterministic_given_seed(self, small_random_graph):
+        first, _ = frustration_index_greedy(small_random_graph, seed=11)
+        second, _ = frustration_index_greedy(small_random_graph, seed=11)
+        assert first == second

@@ -1,0 +1,151 @@
+"""Tests for networkx conversion, unsigned projections, and graph I/O."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import DatasetError, InvalidSignError
+from repro.signed import (
+    NEGATIVE,
+    POSITIVE,
+    SignedGraph,
+    from_networkx,
+    positive_subgraph,
+    to_networkx,
+    unsigned_copy,
+)
+from repro.signed.convert import map_nodes
+from repro.signed.io import (
+    graph_from_json_dict,
+    graph_to_json_dict,
+    parse_edge_list,
+    read_edge_list,
+    read_json,
+    write_edge_list,
+    write_json,
+)
+
+
+class TestNetworkxConversion:
+    def test_round_trip(self, two_factions):
+        nx_graph = to_networkx(two_factions)
+        back = from_networkx(nx_graph)
+        assert back == two_factions
+
+    def test_sign_attribute_preserved(self, line_graph):
+        nx_graph = to_networkx(line_graph)
+        assert nx_graph.edges[1, 2]["sign"] == NEGATIVE
+
+    def test_from_networkx_missing_sign_raises(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 1)
+        with pytest.raises(InvalidSignError):
+            from_networkx(nx_graph)
+
+    def test_from_networkx_default_sign(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 1)
+        graph = from_networkx(nx_graph, default_sign=POSITIVE)
+        assert graph.sign(0, 1) == POSITIVE
+
+    def test_from_networkx_rejects_directed(self):
+        with pytest.raises(ValueError):
+            from_networkx(nx.DiGraph())
+
+    def test_self_loops_dropped(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 0, sign=POSITIVE)
+        nx_graph.add_edge(0, 1, sign=NEGATIVE)
+        graph = from_networkx(nx_graph)
+        assert graph.number_of_edges() == 1
+
+
+class TestProjections:
+    def test_unsigned_copy_keeps_all_edges(self, two_factions):
+        projected = unsigned_copy(two_factions)
+        assert projected.number_of_edges() == two_factions.number_of_edges()
+        assert projected.number_of_nodes() == two_factions.number_of_nodes()
+
+    def test_positive_subgraph_drops_negative_edges(self, two_factions):
+        projected = positive_subgraph(two_factions)
+        assert projected.number_of_edges() == two_factions.number_of_positive_edges()
+        assert projected.number_of_nodes() == two_factions.number_of_nodes()
+        assert not projected.has_edge(2, 3)
+
+    def test_map_nodes(self, line_graph):
+        mapped = map_nodes(line_graph, lambda node: f"n{node}")
+        assert mapped.has_edge("n0", "n1")
+        assert mapped.sign("n1", "n2") == NEGATIVE
+
+
+class TestEdgeListIO:
+    def test_parse_basic(self):
+        graph = parse_edge_list(["# comment", "0 1 1", "1 2 -1", "", "2 3 +1"])
+        assert graph.number_of_edges() == 3
+        assert graph.sign(1, 2) == NEGATIVE
+
+    def test_parse_comma_separated_and_symbols(self):
+        graph = parse_edge_list(["a,b,+", "b,c,-"])
+        assert graph.sign("a", "b") == POSITIVE
+        assert graph.sign("b", "c") == NEGATIVE
+
+    def test_parse_skips_self_loops(self):
+        graph = parse_edge_list(["0 0 1", "0 1 -1"])
+        assert graph.number_of_edges() == 1
+
+    def test_parse_malformed_line_raises(self):
+        with pytest.raises(DatasetError):
+            parse_edge_list(["0 1"])
+
+    def test_parse_invalid_sign_raises(self):
+        with pytest.raises(InvalidSignError):
+            parse_edge_list(["0 1 5"])
+
+    def test_conflicting_reciprocal_edges_keep_first(self):
+        graph = parse_edge_list(["0 1 1", "1 0 -1"], directed_to_undirected="keep_first")
+        assert graph.sign(0, 1) == POSITIVE
+
+    def test_conflicting_reciprocal_edges_negative_wins(self):
+        graph = parse_edge_list(["0 1 1", "1 0 -1"], directed_to_undirected="negative_wins")
+        assert graph.sign(0, 1) == NEGATIVE
+
+    def test_conflicting_reciprocal_edges_error_policy(self):
+        with pytest.raises(DatasetError):
+            parse_edge_list(["0 1 1", "1 0 -1"], directed_to_undirected="error")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            parse_edge_list(["0 1 1"], directed_to_undirected="bogus")
+
+    def test_write_and_read_round_trip(self, tmp_path, two_factions):
+        path = tmp_path / "graph.edges"
+        write_edge_list(two_factions, path)
+        loaded = read_edge_list(path)
+        assert loaded == two_factions
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_edge_list(tmp_path / "nope.edges")
+
+
+class TestJsonIO:
+    def test_json_dict_round_trip_with_isolated_nodes(self):
+        graph = SignedGraph.from_edges([(0, 1, +1)], nodes=[7])
+        payload = graph_to_json_dict(graph)
+        restored = graph_from_json_dict(payload)
+        assert restored == graph
+        assert restored.has_node(7)
+
+    def test_json_file_round_trip(self, tmp_path, line_graph):
+        path = tmp_path / "graph.json"
+        write_json(line_graph, path)
+        assert read_json(path) == line_graph
+
+    def test_json_missing_edges_key_raises(self):
+        with pytest.raises(DatasetError):
+            graph_from_json_dict({"nodes": [1, 2]})
+
+    def test_read_json_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_json(tmp_path / "missing.json")

@@ -1,0 +1,197 @@
+"""Tests for the SignedGraph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    InvalidSignError,
+    NodeNotFoundError,
+)
+from repro.signed import NEGATIVE, POSITIVE, SignedEdge, SignedGraph
+
+
+class TestSignedEdge:
+    def test_endpoints_and_other(self):
+        edge = SignedEdge("a", "b", POSITIVE)
+        assert edge.endpoints() == ("a", "b")
+        assert edge.other("a") == "b"
+        assert edge.other("b") == "a"
+
+    def test_other_with_foreign_node_raises(self):
+        with pytest.raises(KeyError):
+            SignedEdge("a", "b", POSITIVE).other("c")
+
+    def test_sign_predicates(self):
+        assert SignedEdge(1, 2, POSITIVE).is_positive()
+        assert SignedEdge(1, 2, NEGATIVE).is_negative()
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(InvalidSignError):
+            SignedEdge(1, 2, 0)
+
+    def test_equality_is_orientation_independent(self):
+        assert SignedEdge(1, 2, POSITIVE) == SignedEdge(2, 1, POSITIVE)
+        assert SignedEdge(1, 2, POSITIVE) != SignedEdge(1, 2, NEGATIVE)
+
+    def test_hash_consistent_with_equality(self):
+        assert len({SignedEdge(1, 2, POSITIVE), SignedEdge(2, 1, POSITIVE)}) == 1
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = SignedGraph()
+        assert len(graph) == 0
+        assert graph.number_of_edges() == 0
+
+    def test_from_edges_counts(self):
+        graph = SignedGraph.from_edges([(0, 1, +1), (1, 2, -1)])
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+        assert graph.number_of_positive_edges() == 1
+        assert graph.number_of_negative_edges() == 1
+
+    def test_from_edges_with_isolated_nodes(self):
+        graph = SignedGraph.from_edges([(0, 1, +1)], nodes=[5, 6])
+        assert graph.has_node(5)
+        assert graph.degree(5) == 0
+
+    def test_add_node_idempotent(self):
+        graph = SignedGraph()
+        graph.add_node("x")
+        graph.add_node("x")
+        assert graph.number_of_nodes() == 1
+
+    def test_add_edge_adds_endpoints(self):
+        graph = SignedGraph()
+        graph.add_edge("a", "b", NEGATIVE)
+        assert graph.has_node("a") and graph.has_node("b")
+
+    def test_re_adding_same_edge_is_noop(self):
+        graph = SignedGraph()
+        graph.add_edge(1, 2, POSITIVE)
+        graph.add_edge(1, 2, POSITIVE)
+        assert graph.number_of_edges() == 1
+
+    def test_re_adding_with_conflicting_sign_raises(self):
+        graph = SignedGraph()
+        graph.add_edge(1, 2, POSITIVE)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 2, NEGATIVE)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            SignedGraph().add_edge(1, 1, POSITIVE)
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(InvalidSignError):
+            SignedGraph().add_edge(1, 2, 2)
+
+
+class TestQueries:
+    def test_sign_lookup(self, line_graph):
+        assert line_graph.sign(0, 1) == POSITIVE
+        assert line_graph.sign(2, 1) == NEGATIVE
+
+    def test_sign_missing_edge_raises(self, line_graph):
+        with pytest.raises(EdgeNotFoundError):
+            line_graph.sign(0, 3)
+
+    def test_sign_missing_node_raises(self, line_graph):
+        with pytest.raises(NodeNotFoundError):
+            line_graph.sign(0, 99)
+
+    def test_neighbors(self, line_graph):
+        assert sorted(line_graph.neighbors(1)) == [0, 2]
+
+    def test_neighbors_missing_node_raises(self, line_graph):
+        with pytest.raises(NodeNotFoundError):
+            list(line_graph.neighbors(42))
+
+    def test_signed_neighbors(self, line_graph):
+        assert dict(line_graph.signed_neighbors(1)) == {0: POSITIVE, 2: NEGATIVE}
+
+    def test_positive_and_negative_neighbors(self, line_graph):
+        assert line_graph.positive_neighbors(1) == [0]
+        assert line_graph.negative_neighbors(1) == [2]
+
+    def test_degree(self, line_graph):
+        assert line_graph.degree(1) == 2
+        assert line_graph.degree(0) == 1
+
+    def test_contains_and_iter(self, line_graph):
+        assert 0 in line_graph
+        assert 99 not in line_graph
+        assert sorted(line_graph) == [0, 1, 2, 3]
+
+    def test_edges_iterated_once(self, two_factions):
+        edges = list(two_factions.edges())
+        assert len(edges) == two_factions.number_of_edges()
+        assert len(set(edges)) == len(edges)
+
+    def test_edge_triples_signs(self, line_graph):
+        triples = {frozenset((u, v)): s for u, v, s in line_graph.edge_triples()}
+        assert triples[frozenset((1, 2))] == NEGATIVE
+
+
+class TestMutation:
+    def test_set_sign_flips_counters(self, line_graph):
+        line_graph.set_sign(0, 1, NEGATIVE)
+        assert line_graph.sign(0, 1) == NEGATIVE
+        assert line_graph.number_of_negative_edges() == 2
+
+    def test_set_sign_same_value_is_noop(self, line_graph):
+        before = line_graph.number_of_negative_edges()
+        line_graph.set_sign(1, 2, NEGATIVE)
+        assert line_graph.number_of_negative_edges() == before
+
+    def test_remove_edge(self, line_graph):
+        line_graph.remove_edge(1, 2)
+        assert not line_graph.has_edge(1, 2)
+        assert line_graph.number_of_edges() == 2
+        assert line_graph.number_of_negative_edges() == 0
+
+    def test_remove_missing_edge_raises(self, line_graph):
+        with pytest.raises(EdgeNotFoundError):
+            line_graph.remove_edge(0, 3)
+
+    def test_remove_node_drops_incident_edges(self, line_graph):
+        line_graph.remove_node(1)
+        assert not line_graph.has_node(1)
+        assert line_graph.number_of_edges() == 1
+
+    def test_remove_missing_node_raises(self, line_graph):
+        with pytest.raises(NodeNotFoundError):
+            line_graph.remove_node(17)
+
+
+class TestTransforms:
+    def test_copy_is_independent(self, line_graph):
+        clone = line_graph.copy()
+        clone.remove_edge(0, 1)
+        assert line_graph.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+
+    def test_copy_equality(self, two_factions):
+        assert two_factions.copy() == two_factions
+
+    def test_subgraph_keeps_internal_edges_only(self, two_factions):
+        sub = two_factions.subgraph([0, 1, 2, 3])
+        assert sub.number_of_nodes() == 4
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(2, 3)
+        assert not sub.has_edge(0, 5)
+
+    def test_subgraph_with_missing_node_raises(self, two_factions):
+        with pytest.raises(NodeNotFoundError):
+            two_factions.subgraph([0, 99])
+
+    def test_path_sign(self, line_graph):
+        assert line_graph.path_sign([0, 1]) == POSITIVE
+        assert line_graph.path_sign([0, 1, 2]) == NEGATIVE
+        assert line_graph.path_sign([0, 1, 2, 3]) == NEGATIVE
+        assert line_graph.path_sign([2]) == POSITIVE
+
+    def test_repr_mentions_counts(self, line_graph):
+        assert "nodes=4" in repr(line_graph)

@@ -1,0 +1,128 @@
+"""Tests for SkillAssignment and Task."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UnknownSkillError
+from repro.skills import SkillAssignment, Task
+from repro.skills.task import random_tasks
+
+
+class TestSkillAssignment:
+    def test_construction_from_mapping(self, simple_assignment):
+        assert len(simple_assignment) == 5
+        assert simple_assignment.number_of_skills() == 4
+
+    def test_skills_of(self, simple_assignment):
+        assert simple_assignment.skills_of("a") == frozenset({"s1", "s2"})
+        assert simple_assignment.skills_of("e") == frozenset()
+        assert simple_assignment.skills_of("unknown") == frozenset()
+
+    def test_users_with(self, simple_assignment):
+        assert simple_assignment.users_with("s2") == frozenset({"a", "b"})
+
+    def test_users_with_unknown_skill_raises(self, simple_assignment):
+        with pytest.raises(UnknownSkillError):
+            simple_assignment.users_with("nope")
+
+    def test_has_skill(self, simple_assignment):
+        assert simple_assignment.has_skill("a", "s1")
+        assert not simple_assignment.has_skill("a", "s3")
+        assert not simple_assignment.has_skill("ghost", "s1")
+
+    def test_skill_frequency(self, simple_assignment):
+        assert simple_assignment.skill_frequency("s3") == 2
+        assert simple_assignment.skill_frequency("missing") == 0
+
+    def test_add_and_remove_skill(self, simple_assignment):
+        simple_assignment.add_skill_to_user("e", "s9")
+        assert simple_assignment.has_skill("e", "s9")
+        simple_assignment.remove_skill_from_user("e", "s9")
+        assert not simple_assignment.has_skill("e", "s9")
+        assert simple_assignment.skill_frequency("s9") == 0
+
+    def test_remove_missing_skill_is_noop(self, simple_assignment):
+        simple_assignment.remove_skill_from_user("a", "does-not-exist")
+        assert simple_assignment.skills_of("a") == frozenset({"s1", "s2"})
+
+    def test_covers(self, simple_assignment):
+        assert simple_assignment.covers(["a", "b"], ["s1", "s2", "s3"])
+        assert not simple_assignment.covers(["a"], ["s3"])
+        assert simple_assignment.covers([], [])
+
+    def test_covered_and_missing_skills(self, simple_assignment):
+        assert simple_assignment.covered_skills(["a", "c"]) == {"s1", "s2", "s3"}
+        assert simple_assignment.missing_skills(["a"], ["s1", "s4"]) == {"s4"}
+
+    def test_restricted_to(self, simple_assignment):
+        subset = simple_assignment.restricted_to(["a", "e"])
+        assert set(subset.users()) == {"a", "e"}
+        assert subset.skills_of("a") == frozenset({"s1", "s2"})
+
+    def test_as_dict_is_a_copy(self, simple_assignment):
+        payload = simple_assignment.as_dict()
+        payload["a"].add("tampered")
+        assert "tampered" not in simple_assignment.skills_of("a")
+
+    def test_equality(self, simple_assignment):
+        clone = SkillAssignment(simple_assignment.as_dict())
+        assert clone == simple_assignment
+
+    def test_iteration_and_contains(self, simple_assignment):
+        assert "a" in simple_assignment
+        assert set(iter(simple_assignment)) == {"a", "b", "c", "d", "e"}
+
+
+class TestTask:
+    def test_basic_properties(self):
+        task = Task(["s1", "s2", "s2"], name="demo")
+        assert len(task) == 2
+        assert "s1" in task
+        assert set(task) == {"s1", "s2"}
+
+    def test_empty_task_rejected(self):
+        with pytest.raises(ValueError):
+            Task([])
+
+    def test_equality_and_hash(self):
+        assert Task(["a", "b"]) == Task(["b", "a"])
+        assert len({Task(["a", "b"]), Task(["b", "a"])}) == 1
+
+    def test_is_coverable(self, simple_assignment):
+        assert Task(["s1", "s3"]).is_coverable(simple_assignment)
+        assert not Task(["s1", "unknown"]).is_coverable(simple_assignment)
+
+    def test_uncovered_by(self, simple_assignment):
+        task = Task(["s1", "s3", "s4"])
+        assert task.uncovered_by(simple_assignment, ["a"]) == frozenset({"s3", "s4"})
+
+    def test_random_task_size_and_coverability(self, simple_assignment):
+        task = Task.random(simple_assignment, 2, seed=3)
+        assert len(task) == 2
+        assert task.is_coverable(simple_assignment)
+
+    def test_random_task_deterministic(self, simple_assignment):
+        assert Task.random(simple_assignment, 2, seed=5) == Task.random(
+            simple_assignment, 2, seed=5
+        )
+
+    def test_random_task_too_large_raises(self, simple_assignment):
+        with pytest.raises(ValueError):
+            Task.random(simple_assignment, 99)
+
+    def test_random_task_invalid_size(self, simple_assignment):
+        with pytest.raises(ValueError):
+            Task.random(simple_assignment, 0)
+
+    def test_random_tasks_batch(self, simple_assignment):
+        tasks = random_tasks(simple_assignment, size=2, count=5, seed=1)
+        assert len(tasks) == 5
+        assert all(len(task) == 2 for task in tasks)
+        # Deterministic given the seed.
+        again = random_tasks(simple_assignment, size=2, count=5, seed=1)
+        assert tasks == again
+
+    def test_random_tasks_invalid_count(self, simple_assignment):
+        with pytest.raises(ValueError):
+            random_tasks(simple_assignment, size=1, count=0)

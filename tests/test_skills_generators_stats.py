@@ -1,0 +1,142 @@
+"""Tests for skill generators, statistics and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.skills import (
+    SkillAssignment,
+    assign_skills_uniform,
+    assign_skills_zipf,
+    assignment_from_json_dict,
+    assignment_to_json_dict,
+    read_assignment,
+    skill_statistics,
+    write_assignment,
+    zipf_skill_frequencies,
+)
+from repro.skills.generators import assign_skills_from_communities
+from repro.skills.io import read_user_skill_pairs
+from repro.skills.stats import skill_frequency_table
+
+
+class TestZipfFrequencies:
+    def test_total_and_monotonicity(self):
+        frequencies = zipf_skill_frequencies(10, 100, exponent=1.0)
+        assert len(frequencies) == 10
+        assert all(f >= 1 for f in frequencies)
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_higher_exponent_concentrates_mass(self):
+        flat = zipf_skill_frequencies(20, 200, exponent=0.5)
+        steep = zipf_skill_frequencies(20, 200, exponent=2.0)
+        assert steep[0] > flat[0]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            zipf_skill_frequencies(0, 10)
+        with pytest.raises(ValueError):
+            zipf_skill_frequencies(10, 0)
+        with pytest.raises(ValueError):
+            zipf_skill_frequencies(10, 10, exponent=0)
+
+
+class TestAssignSkills:
+    def test_zipf_assignment_covers_all_users(self):
+        users = list(range(50))
+        assignment = assign_skills_zipf(users, num_skills=20, skills_per_user=3, seed=1)
+        assert set(assignment.users()) == set(users)
+        assert all(assignment.skills_of(user) for user in users)
+
+    def test_zipf_assignment_deterministic(self):
+        users = list(range(30))
+        first = assign_skills_zipf(users, num_skills=10, seed=7)
+        second = assign_skills_zipf(users, num_skills=10, seed=7)
+        assert first == second
+
+    def test_zipf_frequencies_follow_rank(self):
+        users = list(range(200))
+        assignment = assign_skills_zipf(users, num_skills=30, skills_per_user=4, seed=3)
+        top = assignment.skill_frequency("skill-1")
+        tail = assignment.skill_frequency("skill-30")
+        assert top > tail
+
+    def test_zipf_empty_users_rejected(self):
+        with pytest.raises(ValueError):
+            assign_skills_zipf([], num_skills=5)
+
+    def test_uniform_assignment_exact_count(self):
+        assignment = assign_skills_uniform(list(range(20)), num_skills=10, skills_per_user=3, seed=2)
+        assert all(len(assignment.skills_of(user)) == 3 for user in range(20))
+
+    def test_uniform_more_skills_than_universe_clamped(self):
+        assignment = assign_skills_uniform([1, 2], num_skills=2, skills_per_user=5, seed=2)
+        assert all(len(assignment.skills_of(user)) == 2 for user in (1, 2))
+
+    def test_community_assignment_uses_community_pools(self):
+        communities = {user: user % 2 for user in range(40)}
+        assignment = assign_skills_from_communities(communities, skills_per_user=3, seed=5)
+        for user in range(40):
+            for skill in assignment.skills_of(user):
+                assert str(skill).startswith((f"c{user % 2}-", "shared-"))
+
+    def test_community_assignment_empty_rejected(self):
+        with pytest.raises(ValueError):
+            assign_skills_from_communities({})
+
+
+class TestSkillStatistics:
+    def test_statistics_fields(self, simple_assignment):
+        stats = skill_statistics(simple_assignment)
+        assert stats.num_users == 5
+        assert stats.num_skills == 4
+        assert stats.total_assignments == 7
+        assert stats.users_without_skills == 1
+        assert stats.average_skills_per_user == pytest.approx(7 / 5)
+        assert stats.as_dict()["#skills"] == 4
+
+    def test_statistics_empty_assignment(self):
+        stats = skill_statistics(SkillAssignment())
+        assert stats.num_users == 0
+        assert stats.max_skill_frequency == 0
+
+    def test_frequency_table_sorted(self, simple_assignment):
+        table = skill_frequency_table(simple_assignment)
+        frequencies = list(table.values())
+        assert frequencies == sorted(frequencies, reverse=True)
+
+
+class TestSkillIO:
+    def test_json_round_trip(self, tmp_path, simple_assignment):
+        path = tmp_path / "skills.json"
+        write_assignment(simple_assignment, path)
+        loaded = read_assignment(path)
+        assert set(loaded.users()) == set(simple_assignment.users())
+        assert loaded.skills_of("a") == frozenset({"s1", "s2"})
+
+    def test_json_dict_integer_users_round_trip(self):
+        assignment = SkillAssignment({1: {"x"}, 2: {"y"}})
+        payload = assignment_to_json_dict(assignment)
+        restored = assignment_from_json_dict(payload)
+        assert restored.skills_of(1) == frozenset({"x"})
+
+    def test_read_missing_file_raises(self, tmp_path):
+        from repro.exceptions import DatasetError
+
+        with pytest.raises(DatasetError):
+            read_assignment(tmp_path / "absent.json")
+
+    def test_read_user_skill_pairs(self, tmp_path):
+        path = tmp_path / "pairs.txt"
+        path.write_text("# comment\n1 databases\n1 search engines\n2 ml\n")
+        assignment = read_user_skill_pairs(path)
+        assert assignment.skills_of(1) == frozenset({"databases", "search engines"})
+        assert assignment.skills_of(2) == frozenset({"ml"})
+
+    def test_read_user_skill_pairs_malformed_raises(self, tmp_path):
+        from repro.exceptions import DatasetError
+
+        path = tmp_path / "bad.txt"
+        path.write_text("justoneword\n")
+        with pytest.raises(DatasetError):
+            read_user_skill_pairs(path)

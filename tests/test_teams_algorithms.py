@@ -1,0 +1,208 @@
+"""Tests for Algorithm 2, the named algorithms, the exact solver and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compatibility import DistanceOracle, make_relation
+from repro.skills import SkillAssignment, Task
+from repro.teams import (
+    ALGORITHM_NAMES,
+    LeastCompatibleSkillFirst,
+    MinimumDistanceUser,
+    RarestSkillFirst,
+    TeamFormationProblem,
+    exists_compatible_team,
+    form_team,
+    lcmc,
+    lcmd,
+    random_team,
+    rfmd,
+    run_algorithm,
+    solve_exact,
+    team_covers_task,
+    team_is_compatible,
+    validate_team,
+)
+from repro.teams.validation import fraction_of_compatible_teams
+
+
+def make_problem(dataset, relation_name, skills, **kwargs):
+    relation = make_relation(relation_name, dataset.graph)
+    return TeamFormationProblem(dataset.graph, dataset.skills, relation, Task(skills), **kwargs)
+
+
+class TestFormTeam:
+    def test_solution_is_valid(self, toy):
+        problem = make_problem(toy, "SPO", ["python", "databases", "design", "writing"])
+        result = form_team(problem, LeastCompatibleSkillFirst(), MinimumDistanceUser())
+        assert result.solved
+        assert team_covers_task(result.team, problem.task, toy.skills)
+        assert team_is_compatible(result.team, problem.relation)
+        assert result.cost == problem.oracle.max_pairwise_distance(result.team)
+
+    def test_single_user_team_when_one_user_covers_all(self, toy):
+        problem = make_problem(toy, "SPO", ["python", "databases"])
+        result = form_team(problem, RarestSkillFirst(), MinimumDistanceUser())
+        assert result.solved
+        assert result.team == frozenset({"bob"})
+        assert result.cost == 0.0
+
+    def test_unsolvable_under_dpe(self, toy):
+        # No clique of direct friends covers these four skills.
+        problem = make_problem(toy, "DPE", ["python", "databases", "design", "writing"])
+        result = form_team(problem, LeastCompatibleSkillFirst(), MinimumDistanceUser())
+        assert not result.solved
+        assert result.cost == float("inf")
+        assert result.team is None
+
+    def test_max_seeds_limits_seed_loop(self, toy):
+        problem = make_problem(toy, "SPO", ["python", "databases"])
+        result = form_team(
+            problem,
+            RarestSkillFirst(),
+            MinimumDistanceUser(),
+            max_seeds=1,
+            seed=3,
+        )
+        assert result.seeds_tried == 1
+
+    def test_algorithm_name_recorded(self, toy):
+        problem = make_problem(toy, "SPO", ["python"])
+        result = form_team(
+            problem, RarestSkillFirst(), MinimumDistanceUser(), algorithm_name="CUSTOM"
+        )
+        assert result.algorithm == "CUSTOM"
+
+    def test_team_members_never_incompatible_with_each_other(self, toy):
+        for relation_name in ("SPA", "SPO", "SBPH", "NNE"):
+            problem = make_problem(
+                toy, relation_name, ["python", "databases", "statistics", "frontend"]
+            )
+            result = form_team(problem, LeastCompatibleSkillFirst(), MinimumDistanceUser())
+            if result.solved:
+                assert team_is_compatible(result.team, problem.relation)
+
+
+class TestNamedAlgorithms:
+    def test_all_names_run(self, toy):
+        problem = make_problem(toy, "SPO", ["python", "databases", "writing"])
+        for name in ALGORITHM_NAMES:
+            result = run_algorithm(name, problem, seed=11)
+            assert result.algorithm == name
+            assert result.solved
+
+    def test_unknown_algorithm_rejected(self, toy):
+        problem = make_problem(toy, "SPO", ["python"])
+        with pytest.raises(KeyError):
+            run_algorithm("BOGUS", problem)
+
+    def test_wrappers_match_run_algorithm(self, toy):
+        problem = make_problem(toy, "SPO", ["python", "writing"])
+        assert lcmd(problem).team == run_algorithm("LCMD", problem).team
+        assert rfmd(problem).team == run_algorithm("RFMD", problem).team
+
+    def test_random_team_deterministic_with_seed(self, toy):
+        problem = make_problem(toy, "SPO", ["python", "databases", "design"])
+        assert random_team(problem, seed=5).team == random_team(problem, seed=5).team
+
+    def test_lcmc_also_produces_compatible_team(self, toy):
+        problem = make_problem(toy, "SBPH", ["python", "databases", "design", "writing"])
+        result = lcmc(problem)
+        if result.solved:
+            assert team_is_compatible(result.team, problem.relation)
+
+    def test_lcmd_cost_not_worse_than_random_on_average(self, toy):
+        # A weak statistical sanity check on the toy dataset: LCMD should not
+        # systematically produce larger teams' diameters than RANDOM.
+        tasks = [
+            ["python", "databases", "writing"],
+            ["frontend", "statistics", "databases"],
+            ["design", "devops", "python"],
+        ]
+        lcmd_costs, random_costs = [], []
+        for skills in tasks:
+            problem = make_problem(toy, "SPO", skills)
+            lcmd_result = lcmd(problem)
+            random_result = random_team(problem, seed=1)
+            if lcmd_result.solved and random_result.solved:
+                lcmd_costs.append(lcmd_result.cost)
+                random_costs.append(random_result.cost)
+        assert sum(lcmd_costs) <= sum(random_costs) + 1e-9
+
+
+class TestExactSolver:
+    def test_exact_matches_greedy_feasibility_on_toy(self, toy):
+        problem = make_problem(toy, "SPO", ["python", "databases", "writing"])
+        exact = solve_exact(problem)
+        greedy = lcmd(problem)
+        assert exact.solved
+        assert greedy.solved
+        # The greedy solution can never beat the optimum.
+        assert exact.cost <= greedy.cost
+
+    def test_exact_detects_infeasibility(self, two_factions):
+        skills = SkillAssignment({0: {"a"}, 5: {"b"}})
+        relation = make_relation("SPA", two_factions)
+        problem = TeamFormationProblem(two_factions, skills, relation, Task(["a", "b"]))
+        assert not solve_exact(problem).solved
+        assert not exists_compatible_team(problem)
+
+    def test_exact_finds_feasible_team_greedy_misses(self, two_factions):
+        # Greedy seeded on skill "a" (user 0 or 3) can fail under SPA if it
+        # pairs user 0 with a "b" holder from the other faction; the exact
+        # solver must still find {0, 1} or {3, 4}.
+        skills = SkillAssignment({0: {"a"}, 3: {"a"}, 1: {"b"}, 4: {"b"}})
+        relation = make_relation("SPA", two_factions)
+        problem = TeamFormationProblem(two_factions, skills, relation, Task(["a", "b"]))
+        result = solve_exact(problem)
+        assert result.solved
+        assert result.team in (frozenset({0, 1}), frozenset({3, 4}))
+        assert result.cost == 1.0
+
+    def test_exact_pool_cap(self, toy):
+        problem = make_problem(toy, "SPO", ["python", "databases"])
+        with pytest.raises(ValueError):
+            solve_exact(problem, max_pool_size=2)
+
+    def test_greedy_never_solves_what_exact_proves_infeasible(self, two_factions):
+        skills = SkillAssignment({0: {"a"}, 5: {"b"}, 2: {"c"}})
+        relation = make_relation("SPA", two_factions)
+        problem = TeamFormationProblem(
+            two_factions, skills, relation, Task(["a", "b", "c"])
+        )
+        assert not exists_compatible_team(problem)
+        for name in ALGORITHM_NAMES:
+            assert not run_algorithm(name, problem, seed=1).solved
+
+
+class TestValidation:
+    def test_validate_team_full_report(self, toy):
+        relation = make_relation("SPO", toy.graph)
+        oracle = DistanceOracle(relation)
+        task = Task(["python", "databases"])
+        report = validate_team(["ana", "bob"], task, toy.skills, relation, oracle=oracle)
+        assert report.is_valid
+        assert report.covers_task
+        assert report.is_compatible
+        assert report.missing_skills == frozenset()
+        assert report.cost == 1.0
+
+    def test_validate_team_missing_skill(self, toy):
+        relation = make_relation("SPO", toy.graph)
+        report = validate_team(["ana"], Task(["design"]), toy.skills, relation)
+        assert not report.covers_task
+        assert report.missing_skills == frozenset({"design"})
+        assert not report.is_valid
+
+    def test_validate_team_incompatible_pair(self, toy):
+        relation = make_relation("DPE", toy.graph)
+        report = validate_team(["ana", "kim"], Task(["python"]), toy.skills, relation)
+        assert not report.is_compatible
+        assert ("ana", "kim") in report.incompatible_pairs or ("kim", "ana") in report.incompatible_pairs
+
+    def test_fraction_of_compatible_teams(self, toy):
+        relation = make_relation("DPE", toy.graph)
+        teams = [["ana", "bob"], ["ana", "kim"], None]
+        assert fraction_of_compatible_teams(teams, relation) == pytest.approx(1 / 3)
+        assert fraction_of_compatible_teams([], relation) == 0.0

@@ -1,0 +1,96 @@
+"""Tests for the unsigned RarestFirst baseline and the graph projections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compatibility import make_relation
+from repro.skills import SkillAssignment, Task
+from repro.skills.task import random_tasks
+from repro.teams import (
+    PROJECTION_NAMES,
+    RarestFirstBaseline,
+    fraction_of_compatible_teams,
+    project_graph,
+    run_unsigned_baseline,
+    team_covers_task,
+)
+
+
+class TestProjections:
+    def test_projection_names(self):
+        assert set(PROJECTION_NAMES) == {"ignore_sign", "delete_negative"}
+
+    def test_ignore_sign_keeps_all_edges(self, two_factions):
+        projected = project_graph(two_factions, "ignore_sign")
+        assert projected.number_of_edges() == two_factions.number_of_edges()
+
+    def test_delete_negative_removes_negative_edges(self, two_factions):
+        projected = project_graph(two_factions, "delete_negative")
+        assert projected.number_of_edges() == two_factions.number_of_positive_edges()
+
+    def test_unknown_projection_rejected(self, two_factions):
+        with pytest.raises(ValueError):
+            project_graph(two_factions, "something")
+
+
+class TestRarestFirst:
+    def test_covers_task_on_toy(self, toy):
+        baseline = RarestFirstBaseline(project_graph(toy.graph, "ignore_sign"), toy.skills)
+        task = Task(["python", "databases", "writing"])
+        result = baseline.solve(task)
+        assert result.solved
+        assert team_covers_task(result.team, task, toy.skills)
+        assert result.diameter < float("inf")
+
+    def test_single_owner_task(self, toy):
+        baseline = RarestFirstBaseline(project_graph(toy.graph, "ignore_sign"), toy.skills)
+        result = baseline.solve(Task(["python", "databases"]))
+        assert result.solved
+        # bob covers both skills, so the optimal baseline team is {bob} with diameter 0.
+        assert result.team == frozenset({"bob"})
+        assert result.diameter == 0.0
+
+    def test_unknown_skill_unsolvable(self, toy):
+        baseline = RarestFirstBaseline(project_graph(toy.graph, "ignore_sign"), toy.skills)
+        result = baseline.solve(Task(["quantum"]))
+        assert not result.solved
+        assert result.diameter == float("inf")
+
+    def test_disconnected_positive_projection_can_fail(self, two_factions):
+        # After deleting negative edges the two factions are disconnected, so a
+        # task whose skills live in different factions cannot be solved.
+        skills = SkillAssignment({0: {"a"}, 5: {"b"}})
+        baseline = RarestFirstBaseline(project_graph(two_factions, "delete_negative"), skills)
+        assert not baseline.solve(Task(["a", "b"])).solved
+
+    def test_ignore_sign_can_produce_incompatible_teams(self, two_factions):
+        # The same task is solvable when signs are ignored, but the resulting
+        # team spans both factions and is incompatible under SPA — the point of
+        # the paper's Table 3.
+        skills = SkillAssignment({0: {"a"}, 5: {"b"}})
+        baseline = RarestFirstBaseline(project_graph(two_factions, "ignore_sign"), skills)
+        result = baseline.solve(Task(["a", "b"]))
+        assert result.solved
+        relation = make_relation("SPA", two_factions)
+        assert fraction_of_compatible_teams([result.team], relation) == 0.0
+
+    def test_run_unsigned_baseline_batch(self, toy):
+        tasks = random_tasks(toy.skills, size=3, count=4, seed=1)
+        results = run_unsigned_baseline(toy.graph, toy.skills, tasks, "ignore_sign")
+        assert len(results) == 4
+        for task, result in zip(tasks, results):
+            if result.solved:
+                assert team_covers_task(result.team, task, toy.skills)
+
+    def test_delete_negative_never_worse_compatibility_than_ignore_sign(self, toy):
+        # Statistical sanity check mirroring the paper's Table 3 ordering.
+        tasks = random_tasks(toy.skills, size=3, count=6, seed=3)
+        relation = make_relation("SPO", toy.graph)
+        fractions = {}
+        for projection in PROJECTION_NAMES:
+            results = run_unsigned_baseline(toy.graph, toy.skills, tasks, projection)
+            fractions[projection] = fraction_of_compatible_teams(
+                [entry.team for entry in results], relation
+            )
+        assert fractions["delete_negative"] >= fractions["ignore_sign"] - 1e-9
