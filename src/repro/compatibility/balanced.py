@@ -6,17 +6,50 @@ Enumerating such paths is exponential in the worst case (the prefix property
 fails, Figure 1(b)), so the paper — and this module — also provides a
 heuristic, **SBPH**, that only considers paths satisfying the prefix property.
 
+Symmetry
+--------
+Section 2 requires every compatibility relation to be *symmetric*.  Positive
+balanced paths are inherently symmetric (reversing a path changes neither its
+sign nor the subgraph it induces), but both searches are *directional*
+under-approximations: the heuristic keeps a single representative path per
+``(node, sign)`` state, and the exact search can hit its expansion budget, so
+"the search from ``u`` finds ``v``" may disagree with "the search from ``v``
+finds ``u``" (on the Figure 1(b) graph the heuristic misses ``u → v`` but
+finds the reversed path ``v → u``).  The relations therefore define the pair
+as compatible iff **either direction** finds a positive balanced path — a
+canonical, query-order-independent check applied consistently by
+:meth:`~_BalancedPathRelation.are_compatible`,
+:meth:`~_BalancedPathRelation._compute_compatible_set` and
+:meth:`~_BalancedPathRelation.positive_balanced_distance`.  The symmetrised
+relation is still sound (every reported pair is joined by a real positive
+balanced path) and still under-approximates exact SBP.
+
 Both relations additionally expose the length of the best positive balanced
 path found, which is the distance the team-formation cost uses under SBP/SBPH.
+Per-source search results live in a bounded LRU (``result_cache_size``), so a
+full sweep over a large graph cannot exhaust memory.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import FrozenSet, List, Optional, Sequence, Set
 
-from repro.compatibility.base import CompatibilityRelation
+from repro.compatibility.base import DEFAULT_COMPATIBLE_CACHE_SIZE, CompatibilityRelation
 from repro.signed.graph import NEGATIVE, Node, SignedGraph
-from repro.signed.paths import BalancedPathResult, BalancedPathSearch
+from repro.signed.paths import (
+    INFINITY,
+    BalancedPathResult,
+    BalancedPathSearch,
+    shortest_signed_walk_lengths,
+)
+from repro.utils.lru import LRUCache
+
+#: Default bound on the number of cached per-source balanced-path results.
+#: Sized to hold a full sweep of graphs up to its own size (the symmetric
+#: closure touches every node's search once), so repeated set queries stay
+#: amortised on the bundled datasets; larger graphs re-search evicted sources
+#: on later sweeps — raise the bound (or pass ``None``) if memory allows.
+DEFAULT_RESULT_CACHE_SIZE = 4096
 
 
 class _BalancedPathRelation(CompatibilityRelation):
@@ -30,12 +63,20 @@ class _BalancedPathRelation(CompatibilityRelation):
         graph: SignedGraph,
         max_path_length: Optional[int] = None,
         max_expansions: int = 2_000_000,
+        result_cache_size: Optional[int] = DEFAULT_RESULT_CACHE_SIZE,
+        compatible_cache_size: Optional[int] = DEFAULT_COMPATIBLE_CACHE_SIZE,
     ) -> None:
-        super().__init__(graph)
+        super().__init__(graph, compatible_cache_size=compatible_cache_size)
         self._search = BalancedPathSearch(
             graph, max_length=max_path_length, max_expansions=max_expansions
         )
-        self._result_cache: Dict[Node, BalancedPathResult] = {}
+        self._result_cache: LRUCache[Node, BalancedPathResult] = LRUCache(
+            maxsize=result_cache_size
+        )
+        # Truncation must survive cache eviction: remember *which* sources hit
+        # the expansion cap in a small persistent set of node ids, not via the
+        # evictable results themselves.
+        self._truncated_sources: Set[Node] = set()
         self.max_path_length = max_path_length
 
     def _search_from(self, source: Node) -> BalancedPathResult:
@@ -46,10 +87,29 @@ class _BalancedPathRelation(CompatibilityRelation):
             else:
                 result = self._search.search_heuristic(source)
             self._result_cache[source] = result
+            if result.truncated:
+                self._truncated_sources.add(source)
         return result
 
     def _clear_subclass_cache(self) -> None:
         self._result_cache.clear()
+        self._truncated_sources.clear()
+
+    def _found_positive(self, source: Node, target: Node) -> bool:
+        """Directional check: does the search *from* ``source`` reach ``target``?"""
+        return target in self._search_from(source).positive_lengths
+
+    def are_compatible(self, u: Node, v: Node) -> bool:
+        # Canonical symmetric check: the pair is compatible iff a positive
+        # balanced path is found in either direction.  Overridden here (rather
+        # than inherited via compatible_with) so a pair query costs at most two
+        # searches instead of a full symmetric closure.
+        self._require_nodes(u, v)
+        if u == v:
+            return True
+        if not self._pair_allowed(u, v):
+            return False
+        return self._found_positive(u, v) or self._found_positive(v, u)
 
     def _compute_compatible_set(self, u: Node) -> Set[Node]:
         result = self._search_from(u)
@@ -58,19 +118,93 @@ class _BalancedPathRelation(CompatibilityRelation):
             for node in result.positive_lengths
             if node != u and self._pair_allowed(u, node)
         }
+        # Symmetric closure: nodes whose own search finds a positive balanced
+        # path back to ``u`` even though the search from ``u`` missed them
+        # (prefix-property failures, truncated exact searches).  A positive
+        # balanced path implies a positive *walk*, so the cheap double-cover
+        # BFS prunes the candidates before any expensive reverse search runs.
+        positive_walks, _ = shortest_signed_walk_lengths(self._graph, u)
+        for node in positive_walks:
+            if node == u or node in compatible or not self._pair_allowed(u, node):
+                continue
+            if self._found_positive(node, u):
+                compatible.add(node)
         return compatible
 
+    def batch_compatible_sets(self, sources: Sequence[Node]) -> List[FrozenSet[Node]]:
+        """The symmetric compatible set of every source, from one shared sweep.
+
+        The symmetric relation needs, for each source ``s``, both the forward
+        search from ``s`` and the reverse information "whose search finds
+        ``s``".  Computing that per source via :meth:`compatible_with` costs a
+        full reverse sweep *per call* once the LRU starts evicting; this batch
+        entry point instead streams one pass over every candidate's search and
+        tests membership of all sampled sources at once, so the whole sample
+        costs one sweep regardless of cache pressure.  Each returned set
+        equals ``compatible_with(source)`` exactly (the source included) and
+        is written into the compatible-set cache, so follow-up per-source
+        queries (e.g. the average-distance estimator) are cache hits.
+        """
+        self._require_nodes(*sources)
+        compatible_sets: List[Set[Node]] = []
+        candidates: Set[Node] = set()
+        for source in sources:
+            result = self._search_from(source)
+            compatible_sets.append(
+                {
+                    node
+                    for node in result.positive_lengths
+                    if node != source and self._pair_allowed(source, node)
+                }
+            )
+            # A reverse find implies a positive walk from the source, so the
+            # union of the sources' positive-walk neighbourhoods bounds the
+            # reverse sweep (same pruning as _compute_compatible_set) — nodes
+            # in components containing no sampled source are never searched.
+            positive_walks, _ = shortest_signed_walk_lengths(self._graph, source)
+            candidates.update(positive_walks)
+        # One reverse pass: each candidate is searched (at most) once, and
+        # every sampled source checks membership in that one result.
+        for node in candidates:
+            positive_lengths = self._search_from(node).positive_lengths
+            for position, source in enumerate(sources):
+                if node == source or node in compatible_sets[position]:
+                    continue
+                if source in positive_lengths and self._pair_allowed(source, node):
+                    compatible_sets[position].add(node)
+        frozen: List[FrozenSet[Node]] = []
+        for source, found in zip(sources, compatible_sets):
+            found.add(source)
+            result_set = frozenset(found)
+            self._compatible_cache[source] = result_set
+            frozen.append(result_set)
+        return frozen
+
+    def batch_compatibility_degrees(self, sources: Sequence[Node]) -> List[int]:
+        """Number of *other* compatible nodes per source (one shared sweep).
+
+        Counts equal ``len(compatible_with(s)) - 1`` exactly; see
+        :meth:`batch_compatible_sets`.
+        """
+        return [len(found) - 1 for found in self.batch_compatible_sets(sources)]
+
     def positive_balanced_distance(self, u: Node, v: Node) -> float:
-        """Length of the best positive balanced path found from ``u`` to ``v``.
+        """Length of the best positive balanced path found between ``u`` and ``v``.
 
         Returns ``inf`` when no such path was found.  This is the distance the
-        paper uses for the communication cost under SBP/SBPH.
+        paper uses for the communication cost under SBP/SBPH.  Like the
+        relation itself, the distance is symmetric: both search directions are
+        consulted and the shorter of the two path lengths wins, so compatible
+        pairs always have a finite distance regardless of query order.
         """
         self._require_nodes(u, v)
         if u == v:
             return 0.0
-        result = self._search_from(u)
-        return result.positive_length(v)
+        if not self._pair_allowed(u, v):
+            return INFINITY
+        forward = self._search_from(u).positive_length(v)
+        backward = self._search_from(v).positive_length(u)
+        return min(forward, backward)
 
     def _pair_allowed(self, u: Node, v: Node) -> bool:
         """Enforce Negative Edge Incompatibility explicitly.
@@ -99,12 +233,22 @@ class StructurallyBalancedPathCompatibility(_BalancedPathRelation):
     exact_search = True
 
     def truncated_sources(self) -> Set[Node]:
-        """Sources whose exact search hit the expansion cap (results partial)."""
-        return {source for source, result in self._result_cache.items() if result.truncated}
+        """Sources whose exact search hit the expansion cap (results partial).
+
+        Tracked independently of the (bounded, evictable) result cache, so the
+        report stays complete even after a sweep larger than the cache.
+        """
+        return set(self._truncated_sources)
 
 
 class HeuristicBalancedPathCompatibility(_BalancedPathRelation):
-    """SBPH: heuristic search restricted to prefix-property balanced paths."""
+    """SBPH: heuristic search restricted to prefix-property balanced paths.
+
+    The directional search (:meth:`BalancedPathSearch.search_heuristic`) keeps
+    one representative path per ``(node, sign)`` state and therefore depends
+    on the search direction; the relation symmetrises it by accepting a pair
+    when either endpoint's search finds the other (see the module docstring).
+    """
 
     name = "SBPH"
     exact_search = False

@@ -22,10 +22,14 @@ cheap.
 from __future__ import annotations
 
 import abc
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import NodeNotFoundError
 from repro.signed.graph import NEGATIVE, POSITIVE, Node, SignedGraph
+from repro.utils.lru import LRUCache
+
+#: Default bound on the number of cached per-source compatible sets.
+DEFAULT_COMPATIBLE_CACHE_SIZE = 4096
 
 
 class CompatibilityRelation(abc.ABC):
@@ -35,14 +39,25 @@ class CompatibilityRelation(abc.ABC):
     ----------
     graph:
         The signed graph the relation is defined over.
+    compatible_cache_size:
+        LRU bound on cached per-source compatible sets; each set is O(n), so
+        the bound caps the relation's memory at roughly
+        ``compatible_cache_size * n`` references on dense relations.  ``None``
+        disables eviction.
     """
 
     #: Short name used in the paper's tables (e.g. ``"SPA"``); set by subclasses.
     name: str = "ABSTRACT"
 
-    def __init__(self, graph: SignedGraph) -> None:
+    def __init__(
+        self,
+        graph: SignedGraph,
+        compatible_cache_size: Optional[int] = DEFAULT_COMPATIBLE_CACHE_SIZE,
+    ) -> None:
         self._graph = graph
-        self._compatible_cache: Dict[Node, FrozenSet[Node]] = {}
+        self._compatible_cache: LRUCache[Node, FrozenSet[Node]] = LRUCache(
+            maxsize=compatible_cache_size
+        )
 
     @property
     def graph(self) -> SignedGraph:
@@ -96,6 +111,21 @@ class CompatibilityRelation(abc.ABC):
             for v in node_list[index + 1 :]:
                 if v not in compatible:
                     yield (u, v)
+
+    def batch_compatible_sets(self, sources: Iterable[Node]) -> List[FrozenSet[Node]]:
+        """Compatible sets for many sources at once (results cached as usual).
+
+        The default runs :meth:`compatible_with` per source; relations with a
+        cheaper batched strategy (the SP* family's indexed multi-source BFS,
+        the balanced relations' shared reverse sweep) override this, and the
+        pairwise statistics call it instead of looping so they pick up
+        whichever strategy the relation implements.
+        """
+        return [self.compatible_with(source) for source in sources]
+
+    def batch_compatibility_degrees(self, sources: Iterable[Node]) -> List[int]:
+        """Number of *other* compatible nodes per source (see :meth:`batch_compatible_sets`)."""
+        return [len(found) - 1 for found in self.batch_compatible_sets(sources)]
 
     def clear_cache(self) -> None:
         """Drop all cached per-source computations (call after mutating the graph)."""

@@ -18,23 +18,41 @@ pairs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.compatibility.balanced import _BalancedPathRelation
 from repro.compatibility.base import CompatibilityRelation
+from repro.compatibility.shortest_path import CSR_AUTO_THRESHOLD, _ShortestPathRelation
+from repro.signed.csr import CSRLengths, shortest_path_lengths_csr
 from repro.signed.graph import Node, SignedGraph
 from repro.signed.paths import INFINITY, shortest_path_lengths
+from repro.utils.lru import LRUCache
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import require_positive
 
+#: Default bound on the number of cached single-source distance maps.
+DEFAULT_DISTANCE_CACHE_SIZE = 2048
+
 
 class DistanceOracle:
-    """Pairwise user distances consistent with a compatibility relation."""
+    """Pairwise user distances consistent with a compatibility relation.
 
-    def __init__(self, relation: CompatibilityRelation) -> None:
+    Single-source distance maps are cached in a bounded LRU
+    (``cache_size`` entries, ``None`` = unbounded).  The sign-agnostic BFS
+    follows the relation's backend choice when the relation has one (an SP*
+    relation built with ``backend="dict"`` keeps the oracle on the dict BFS
+    too); otherwise it switches to the indexed CSR backend at
+    :data:`~repro.compatibility.shortest_path.CSR_AUTO_THRESHOLD` nodes.
+    """
+
+    def __init__(
+        self,
+        relation: CompatibilityRelation,
+        cache_size: Optional[int] = DEFAULT_DISTANCE_CACHE_SIZE,
+    ) -> None:
         self._relation = relation
         self._graph = relation.graph
-        self._bfs_cache: Dict[Node, Dict[Node, int]] = {}
+        self._bfs_cache: LRUCache[Node, object] = LRUCache(maxsize=cache_size)
 
     @property
     def relation(self) -> CompatibilityRelation:
@@ -91,10 +109,19 @@ class DistanceOracle:
                 return INFINITY
         return best
 
-    def _shortest_paths_from(self, source: Node) -> Dict[Node, int]:
+    def _use_csr(self) -> bool:
+        if isinstance(self._relation, _ShortestPathRelation):
+            return self._relation._use_csr()
+        return self._graph.number_of_nodes() >= CSR_AUTO_THRESHOLD
+
+    def _shortest_paths_from(self, source: Node):
         lengths = self._bfs_cache.get(source)
         if lengths is None:
-            lengths = shortest_path_lengths(self._graph, source)
+            if self._use_csr():
+                csr = self._graph.csr_view()
+                lengths = CSRLengths(csr, shortest_path_lengths_csr(csr, source))
+            else:
+                lengths = shortest_path_lengths(self._graph, source)
             self._bfs_cache[source] = lengths
         return lengths
 
@@ -136,6 +163,10 @@ def average_compatible_distance(
         require_positive(num_sampled_sources, "num_sampled_sources")
         rng = ensure_rng(seed)
         sources = rng.sample(nodes, min(num_sampled_sources, len(nodes)))
+        # Balanced relations resolve a whole sample in one shared reverse
+        # sweep; pre-warming makes the per-source compatible_with calls below
+        # cache hits instead of repeating the sweep under LRU pressure.
+        relation.batch_compatible_sets(sources)
         for u in sources:
             compatible = relation.compatible_with(u)
             for v in compatible:

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.compatibility.base import CompatibilityRelation
+from repro.exceptions import NodeNotFoundError
 from repro.signed.graph import Node, SignedGraph
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import require_positive
@@ -62,6 +63,11 @@ class CompatibilityMatrix:
         self._sets: Dict[Node, FrozenSet[Node]] = {
             node: relation.compatible_with(node) for node in relation.graph.nodes()
         }
+        # Dense positions (graph insertion order) give a canonical unordered-pair
+        # orientation without relying on node comparability or repr uniqueness.
+        self._positions: Dict[Node, int] = {
+            node: position for position, node in enumerate(self._sets)
+        }
 
     @property
     def relation(self) -> CompatibilityRelation:
@@ -70,20 +76,35 @@ class CompatibilityMatrix:
 
     def compatible_with(self, node: Node) -> FrozenSet[Node]:
         """The compatible set of ``node`` (materialised)."""
-        return self._sets[node]
+        try:
+            return self._sets[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
 
     def are_compatible(self, u: Node, v: Node) -> bool:
         """Pair query answered from the materialised sets."""
+        if u not in self._sets:
+            raise NodeNotFoundError(u)
+        if v not in self._sets:
+            raise NodeNotFoundError(v)
         return u == v or v in self._sets[u]
 
     def compatible_pairs(self) -> Set[Tuple[Node, Node]]:
-        """All unordered compatible pairs of distinct nodes."""
+        """All unordered compatible pairs of distinct nodes.
+
+        Pairs are oriented by dense node position, so the result is
+        well-defined for any hashable node type (no reliance on ``repr``).
+        """
+        positions = self._positions
         pairs: Set[Tuple[Node, Node]] = set()
         for node, compatible in self._sets.items():
             for other in compatible:
                 if other == node:
                     continue
-                pairs.add(tuple(sorted((node, other), key=repr)))  # type: ignore[arg-type]
+                if positions[node] < positions[other]:
+                    pairs.add((node, other))
+                else:
+                    pairs.add((other, node))
         return pairs
 
     def statistics(self) -> PairStatistics:
@@ -99,39 +120,22 @@ class CompatibilityMatrix:
 
 
 def exact_pair_statistics(relation: CompatibilityRelation) -> PairStatistics:
-    """Exact compatible-pair fraction by enumerating all unordered pairs."""
+    """Exact compatible-pair fraction by enumerating all unordered pairs.
+
+    Each unordered pair is visited exactly once by index-based iteration over
+    ``enumerate(nodes)`` — every node's compatible set is checked against the
+    nodes that follow it — so no ``repr``-based deduplication (or collision
+    fallback) is needed and the loop stays O(n²) set lookups.
+    """
     nodes = relation.graph.nodes()
     compatible = 0
     total = 0
-    for u in nodes:
+    for index, u in enumerate(nodes):
         compatible_set = relation.compatible_with(u)
-        for v in nodes:
-            if repr(v) <= repr(u) and v != u or v == u:
-                continue
+        for v in nodes[index + 1 :]:
             total += 1
             if v in compatible_set:
                 compatible += 1
-    # The loop above deduplicates pairs by repr ordering; recompute the exact
-    # total to guard against repr collisions on exotic node types.
-    expected_total = len(nodes) * (len(nodes) - 1) // 2
-    if total != expected_total:
-        return _exact_pair_statistics_fallback(relation)
-    return PairStatistics(
-        relation_name=relation.name,
-        compatible_pairs=compatible,
-        evaluated_pairs=total,
-        sampled=False,
-    )
-
-
-def _exact_pair_statistics_fallback(relation: CompatibilityRelation) -> PairStatistics:
-    nodes = relation.graph.nodes()
-    compatible = 0
-    total = 0
-    for u, v in itertools.combinations(nodes, 2):
-        total += 1
-        if relation.are_compatible(u, v):
-            compatible += 1
     return PairStatistics(
         relation_name=relation.name,
         compatible_pairs=compatible,
@@ -178,6 +182,13 @@ def source_sampled_pair_statistics(
     sampling independent pairs for relations with expensive per-source
     pre-computation (SBP/SBPH).  The estimator is unbiased because the
     compatible-pair indicator is symmetric in the pair.
+
+    The sample is answered through the relation's
+    ``batch_compatibility_degrees`` strategy: the SP* family runs its
+    vectorised CSR BFS per source over one shared index, the balanced
+    relations resolve the whole sample with one shared reverse sweep, and the
+    base-class default loops ``compatible_with``.  The counts — and therefore
+    the returned statistics — are identical across strategies.
     """
     require_positive(num_sources, "num_sources")
     rng = ensure_rng(seed)
@@ -185,12 +196,8 @@ def source_sampled_pair_statistics(
     if len(nodes) < 2:
         return PairStatistics(relation.name, 0, 0, sampled=True)
     sources = rng.sample(nodes, min(num_sources, len(nodes)))
-    compatible = 0
-    evaluated = 0
-    for source in sources:
-        compatible_set = relation.compatible_with(source)
-        compatible += len(compatible_set) - 1
-        evaluated += len(nodes) - 1
+    compatible = sum(relation.batch_compatibility_degrees(sources))
+    evaluated = len(sources) * (len(nodes) - 1)
     return PairStatistics(
         relation_name=relation.name,
         compatible_pairs=compatible,

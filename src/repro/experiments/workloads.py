@@ -54,6 +54,8 @@ class DatasetContext:
             kwargs = {}
             if key in ("SBP", "SBPH"):
                 kwargs["max_expansions"] = self.config.sbp_max_expansions
+            if key in ("SPA", "SPM", "SPO"):
+                kwargs["backend"] = self.config.sp_backend
             relation = make_relation(key, self.dataset.graph, **kwargs)
             context = RelationContext(
                 relation=relation,

@@ -1,0 +1,478 @@
+"""Indexed CSR backend for signed graphs and batched array-based BFS.
+
+The dict-of-dicts :class:`~repro.signed.graph.SignedGraph` is ideal for
+incremental construction and O(1) single-edge queries, but every per-source
+algorithm pays Python-interpreter cost per visited edge.  This module provides
+the indexed counterpart used on large graphs:
+
+* :class:`CSRSignedGraph` — an immutable snapshot that maps arbitrary hashable
+  node ids to dense integers and stores adjacency as three flat arrays
+  (``indptr`` offsets, ``indices`` neighbours, ``signs`` labels) — the classic
+  compressed-sparse-row layout;
+* :func:`signed_bfs_csr` — Algorithm 1 (positive/negative shortest-path
+  counting) as a level-synchronous vectorised BFS over the flat arrays;
+* :func:`shortest_path_lengths_csr` / :func:`shortest_signed_walk_lengths_csr`
+  — array versions of the other two single-source primitives;
+* :func:`multi_source_signed_bfs` — convenience wrapper running many sources
+  over one shared index; the pairwise statistics implement the same loop with
+  a per-source overflow fallback in the SP* relations'
+  ``batch_compatibility_degrees``.
+
+Results come back as :class:`CSRSignedBFSResult`, an array-backed object that
+answers the same ``length`` / ``counts`` / ``reachable`` queries as
+:class:`~repro.signed.paths.SignedBFSResult` and can be converted to it
+exactly (:meth:`CSRSignedBFSResult.to_signed_bfs_result`), so callers can
+switch backends without changing semantics.  Path counts are held in ``int64``
+— exact up to 2**63-1, which covers every graph in this repository; graphs
+engineered to have astronomically many shortest paths (e.g. large grids) need
+the dict backend's arbitrary-precision integers.
+
+Everything here is deterministic: the dense ids follow the insertion order of
+the source graph, and the BFS visits neighbours in adjacency order, so the
+outputs are bit-identical to the dict implementations (the equivalence tests
+in ``tests/test_csr.py`` enforce this).
+
+The level-synchronous traversal pays a fixed cost of ~20 array operations per
+BFS level, so it targets the low-diameter graphs this library is about
+(social networks, diameter < 20); on path-like graphs with diameter ~n the
+dict BFS is faster and ``backend="dict"`` should be forced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import NodeNotFoundError
+from repro.signed.graph import Node, Sign, SignedGraph
+from repro.signed.paths import INFINITY, SignedBFSResult
+
+#: Sentinel used in length arrays for unreachable nodes.
+UNREACHABLE = -1
+
+
+class CSRSignedGraph:
+    """An immutable compressed-sparse-row snapshot of a signed graph.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; the neighbours of dense node ``i``
+        live in ``indices[indptr[i]:indptr[i + 1]]``.
+    indices:
+        ``int32`` array of neighbour dense ids (both directions of every
+        undirected edge are stored, like the adjacency dict).
+    signs:
+        ``int8`` array parallel to ``indices`` holding the edge labels.
+    """
+
+    __slots__ = ("indptr", "indices", "signs", "_nodes", "_index")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        signs: np.ndarray,
+        nodes: List[Node],
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.signs = signs
+        self._nodes = nodes
+        self._index: Dict[Node, int] = {node: i for i, node in enumerate(nodes)}
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def from_signed_graph(cls, graph: SignedGraph) -> "CSRSignedGraph":
+        """Snapshot ``graph`` into CSR form (dense ids follow node insertion order)."""
+        nodes = graph.nodes()
+        index = {node: i for i, node in enumerate(nodes)}
+        num_nodes = len(nodes)
+        adjacency = graph._adjacency
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        for node, i in index.items():
+            indptr[i + 1] = len(adjacency[node])
+        np.cumsum(indptr, out=indptr)
+        num_entries = int(indptr[-1])
+        indices = np.empty(num_entries, dtype=np.int32)
+        signs = np.empty(num_entries, dtype=np.int8)
+        position = 0
+        for node in nodes:
+            for neighbor, sign in adjacency[node].items():
+                indices[position] = index[neighbor]
+                signs[position] = sign
+                position += 1
+        return cls(indptr, indices, signs, nodes)
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Node, Node, Sign]],
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> "CSRSignedGraph":
+        """Build from ``(u, v, sign)`` triples, via an intermediate :class:`SignedGraph`."""
+        return cls.from_signed_graph(SignedGraph.from_edges(edges, nodes=nodes))
+
+    # ------------------------------------------------------------------ query
+
+    def number_of_nodes(self) -> int:
+        """Return ``|V|``."""
+        return len(self._nodes)
+
+    def number_of_edges(self) -> int:
+        """Return ``|E|`` (each undirected edge counted once)."""
+        return len(self.indices) // 2
+
+    def nodes(self) -> List[Node]:
+        """The original node objects, in dense-id order (a fresh list, like
+        :meth:`SignedGraph.nodes`, so callers may mutate it freely)."""
+        return list(self._nodes)
+
+    def node_at(self, dense_id: int) -> Node:
+        """The original node object for ``dense_id``."""
+        return self._nodes[dense_id]
+
+    def index_of(self, node: Node) -> int:
+        """The dense id of ``node``; raises :class:`NodeNotFoundError` if absent."""
+        try:
+            return self._index[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._index
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def degrees(self) -> np.ndarray:
+        """Array of node degrees, indexed by dense id."""
+        return np.diff(self.indptr)
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRSignedGraph(nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()})"
+        )
+
+
+@dataclass(eq=False)
+class CSRSignedBFSResult:
+    """Array-backed output of :func:`signed_bfs_csr` (Algorithm 1).
+
+    ``lengths[i]`` is the BFS distance from the source to dense node ``i``
+    (:data:`UNREACHABLE` when there is none); ``positive_counts`` /
+    ``negative_counts`` hold the signed shortest-path counts.  The query
+    methods accept the original node objects, so the object is a drop-in for
+    :class:`~repro.signed.paths.SignedBFSResult` in pairwise code.  Equality
+    is identity (``eq=False``): value comparison of array fields is ambiguous;
+    convert via :meth:`to_signed_bfs_result` to compare results by value.
+    """
+
+    source: Node
+    graph: CSRSignedGraph
+    lengths_array: np.ndarray
+    positive_array: np.ndarray
+    negative_array: np.ndarray
+
+    def length(self, node: Node) -> float:
+        """Shortest-path length to ``node`` (``inf`` if unreachable)."""
+        value = self.lengths_array[self.graph.index_of(node)]
+        return INFINITY if value == UNREACHABLE else int(value)
+
+    def counts(self, node: Node) -> Tuple[int, int]:
+        """Return ``(positive, negative)`` shortest-path counts for ``node``."""
+        dense = self.graph.index_of(node)
+        return (int(self.positive_array[dense]), int(self.negative_array[dense]))
+
+    def reachable(self, node: Node) -> bool:
+        """True iff ``node`` is reachable from the source."""
+        return self.lengths_array[self.graph.index_of(node)] != UNREACHABLE
+
+    def reachable_count(self) -> int:
+        """Number of reachable nodes (including the source)."""
+        return int((self.lengths_array != UNREACHABLE).sum())
+
+    def compatible_count(self, rule_mask: np.ndarray) -> int:
+        """Number of non-source nodes selected by a boolean ``rule_mask``.
+
+        ``rule_mask`` is typically produced by a vectorised pair rule over
+        ``positive_array`` / ``negative_array`` (see the SP* relations); the
+        source itself and unreachable nodes are excluded, mirroring the
+        dict-backend compatible-set construction.
+        """
+        mask = rule_mask & (self.lengths_array != UNREACHABLE)
+        mask[self.graph.index_of(self.source)] = False
+        return int(mask.sum())
+
+    def compatible_nodes(self, rule_mask: np.ndarray) -> List[Node]:
+        """The non-source node objects selected by ``rule_mask`` (reachable only)."""
+        mask = rule_mask & (self.lengths_array != UNREACHABLE)
+        mask[self.graph.index_of(self.source)] = False
+        nodes = self.graph._nodes
+        return [nodes[i] for i in np.flatnonzero(mask)]
+
+    def to_signed_bfs_result(self) -> SignedBFSResult:
+        """Convert to the dict-backed :class:`SignedBFSResult`, bit for bit.
+
+        Reachable nodes appear in BFS-discovery-compatible order (by level,
+        then dense id); counts and lengths are identical to what
+        :func:`~repro.signed.paths.signed_bfs` produces on the same graph.
+        """
+        nodes = self.graph._nodes
+        reachable = np.flatnonzero(self.lengths_array != UNREACHABLE)
+        order = reachable[np.argsort(self.lengths_array[reachable], kind="stable")]
+        lengths: Dict[Node, int] = {}
+        positive: Dict[Node, int] = {}
+        negative: Dict[Node, int] = {}
+        for dense in order:
+            node = nodes[dense]
+            lengths[node] = int(self.lengths_array[dense])
+            positive[node] = int(self.positive_array[dense])
+            negative[node] = int(self.negative_array[dense])
+        return SignedBFSResult(
+            source=self.source,
+            positive_counts=positive,
+            negative_counts=negative,
+            lengths=lengths,
+        )
+
+
+def _next_frontier(
+    new_states: np.ndarray, state_array: np.ndarray, next_depth: int
+) -> np.ndarray:
+    """Deduplicated frontier for the next BFS level.
+
+    ``new_states`` holds the states discovered this level, possibly with
+    duplicates.  For small levels a sort-based ``np.unique`` is cheapest; for
+    large levels a linear scan of the state array beats sorting — without the
+    scan fallback a low-diameter graph pays O(k log k) on huge levels, and
+    without the unique fast path a path-like graph pays O(n · diameter) in
+    full-array scans.
+    """
+    if new_states.size * 16 < state_array.size:
+        return np.unique(new_states)
+    return np.flatnonzero(state_array == next_depth)
+
+
+def _concatenated_neighbor_ranges(
+    csr: CSRSignedGraph, frontier: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Gather the adjacency slices of every frontier node into flat arrays.
+
+    Returns ``(targets, signs, sources, counts)`` where ``sources[k]`` is the
+    frontier node whose adjacency produced ``targets[k]`` and ``counts[i]`` is
+    the degree of ``frontier[i]`` (so callers can repeat per-frontier data
+    without regathering the offsets).  Fully vectorised: the concatenated
+    ranges are materialised with the repeat/cumsum offset trick instead of a
+    Python loop over frontier nodes.
+    """
+    starts = csr.indptr[frontier]
+    counts = csr.indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.astype(np.int8), empty, counts
+    shifts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    offsets = np.repeat(starts - shifts, counts) + np.arange(total)
+    return csr.indices[offsets], csr.signs[offsets], np.repeat(frontier, counts), counts
+
+
+def signed_bfs_csr(csr: CSRSignedGraph, source: Node) -> CSRSignedBFSResult:
+    """Algorithm 1 on the CSR backend: signed shortest-path counting.
+
+    A level-synchronous BFS: each iteration gathers the concatenated adjacency
+    of the whole frontier, discovers the next level, and scatters the signed
+    count contributions with ``np.add.at`` (positive edges preserve the counts,
+    negative edges swap them).  Work per level is a handful of O(frontier
+    edges) array operations, so the full traversal is O(|V| + |E|) with
+    constant factors one to two orders of magnitude below the dict BFS.
+
+    Counts are ``int64``.  A per-level guard raises :class:`OverflowError`
+    *before* any count can wrap: as long as every count entering a level is at
+    most ``(2**63 - 1) / max_degree``, no target's accumulated sum can exceed
+    ``int64`` during that level, so the check below (applied after each level)
+    catches the overflow while all values are still exact.  Callers that hit
+    the guard should fall back to the dict backend's arbitrary-precision
+    integers (:func:`repro.signed.paths.signed_bfs`) — the relations do this
+    automatically.
+    """
+    source_id = csr.index_of(source)
+    num_nodes = csr.number_of_nodes()
+    degrees = csr.degrees()
+    max_degree = int(degrees.max()) if num_nodes else 0
+    count_guard = (2**63 - 1) // max(1, max_degree)
+    lengths = np.full(num_nodes, UNREACHABLE, dtype=np.int32)
+    positive = np.zeros(num_nodes, dtype=np.int64)
+    negative = np.zeros(num_nodes, dtype=np.int64)
+    lengths[source_id] = 0
+    positive[source_id] = 1
+    frontier = np.array([source_id], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        targets, edge_signs, origins, _counts = _concatenated_neighbor_ranges(csr, frontier)
+        if targets.size == 0:
+            break
+        target_lengths = lengths[targets]
+        # Edges u -> x with L(x) == L(u) + 1 carry shortest-path counts.  At
+        # gather time every length is still <= depth or UNREACHABLE (level
+        # depth + 1 is assigned just below), so those edges are exactly the
+        # ones whose target was undiscovered — including repeat occurrences of
+        # the same target within this level, which all contribute counts.
+        undiscovered = target_lengths == UNREACHABLE
+        lengths[targets[undiscovered]] = depth + 1
+        targets = targets[undiscovered]
+        if targets.size:
+            edge_signs = edge_signs[undiscovered]
+            origins = origins[undiscovered]
+            positive_edges = edge_signs > 0
+            pos_contrib = np.where(positive_edges, positive[origins], negative[origins])
+            neg_contrib = np.where(positive_edges, negative[origins], positive[origins])
+            np.add.at(positive, targets, pos_contrib)
+            np.add.at(negative, targets, neg_contrib)
+            if (
+                int(positive[targets].max()) > count_guard
+                or int(negative[targets].max()) > count_guard
+            ):
+                raise OverflowError(
+                    "signed shortest-path counts exceed the int64 safety bound "
+                    f"({count_guard}) at BFS depth {depth + 1}; use the dict "
+                    "backend (repro.signed.paths.signed_bfs) for this graph"
+                )
+        frontier = _next_frontier(targets, lengths, depth + 1)
+        depth += 1
+    return CSRSignedBFSResult(
+        source=source,
+        graph=csr,
+        lengths_array=lengths,
+        positive_array=positive,
+        negative_array=negative,
+    )
+
+
+def shortest_path_lengths_csr(csr: CSRSignedGraph, source: Node) -> np.ndarray:
+    """Sign-agnostic BFS distances from ``source`` as a dense ``int32`` array.
+
+    Unreachable nodes hold :data:`UNREACHABLE`; wrap with :class:`CSRLengths`
+    for a dict-like view keyed by original node objects.
+    """
+    source_id = csr.index_of(source)
+    lengths = np.full(csr.number_of_nodes(), UNREACHABLE, dtype=np.int32)
+    lengths[source_id] = 0
+    frontier = np.array([source_id], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        targets, _, _, _ = _concatenated_neighbor_ranges(csr, frontier)
+        if targets.size == 0:
+            break
+        undiscovered = targets[lengths[targets] == UNREACHABLE]
+        lengths[undiscovered] = depth + 1
+        frontier = _next_frontier(undiscovered, lengths, depth + 1)
+        depth += 1
+    return lengths
+
+
+def shortest_signed_walk_lengths_csr(
+    csr: CSRSignedGraph, source: Node
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shortest positive / negative *walk* lengths on the signed double cover.
+
+    Array version of
+    :func:`~repro.signed.paths.shortest_signed_walk_lengths`: each node is
+    duplicated into a positive-parity and a negative-parity state, positive
+    edges stay within a layer and negative edges cross layers.  Returns two
+    dense arrays (positive first) with :data:`UNREACHABLE` where no walk of
+    that sign exists.
+    """
+    source_id = csr.index_of(source)
+    num_nodes = csr.number_of_nodes()
+    # State i encodes (node, +1); state i + n encodes (node, -1).
+    distances = np.full(2 * num_nodes, UNREACHABLE, dtype=np.int32)
+    distances[source_id] = 0
+    frontier = np.array([source_id], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        node_part = frontier % num_nodes
+        parity_part = frontier // num_nodes  # 0 = positive, 1 = negative
+        targets, edge_signs, _origins, counts = _concatenated_neighbor_ranges(
+            csr, node_part
+        )
+        if targets.size == 0:
+            break
+        origin_parity = np.repeat(parity_part, counts)
+        next_parity = np.where(edge_signs > 0, origin_parity, 1 - origin_parity)
+        states = targets.astype(np.int64) + next_parity * num_nodes
+        undiscovered = states[distances[states] == UNREACHABLE]
+        distances[undiscovered] = depth + 1
+        frontier = _next_frontier(undiscovered, distances, depth + 1)
+        depth += 1
+    return distances[:num_nodes].copy(), distances[num_nodes:].copy()
+
+
+def multi_source_signed_bfs(
+    csr: CSRSignedGraph, sources: Sequence[Node]
+) -> List[CSRSignedBFSResult]:
+    """Run Algorithm 1 from every source over one shared index.
+
+    The CSR arrays and the node-id mapping are built once and reused by every
+    source, but each source is still its own vectorised BFS (a true
+    shared-frontier batch is a ROADMAP item).  Results are returned in input
+    order.
+    """
+    return [signed_bfs_csr(csr, source) for source in sources]
+
+
+class CSRLengths:
+    """Dict-like read view over a dense length array, keyed by node objects.
+
+    Supports the mapping subset the distance oracle uses (``get``,
+    ``__contains__``, ``__getitem__``, ``items``); unreachable nodes behave as
+    missing keys.
+    """
+
+    __slots__ = ("_graph", "_lengths")
+
+    def __init__(self, graph: CSRSignedGraph, lengths: np.ndarray) -> None:
+        self._graph = graph
+        self._lengths = lengths
+
+    def get(self, node: Node, default=None):
+        """Length to ``node``, or ``default`` when unreachable or unknown."""
+        dense = self._graph._index.get(node)
+        if dense is None:
+            return default
+        value = self._lengths[dense]
+        return default if value == UNREACHABLE else int(value)
+
+    def __getitem__(self, node: Node) -> int:
+        value = self.get(node)
+        if value is None:
+            raise KeyError(node)
+        return value
+
+    def __contains__(self, node: Node) -> bool:
+        return self.get(node) is not None
+
+    def __len__(self) -> int:
+        return int((self._lengths != UNREACHABLE).sum())
+
+    def __iter__(self) -> Iterator[Node]:
+        # Without this, Python's legacy iteration protocol would call
+        # __getitem__(0), __getitem__(1), ... and raise KeyError — a trap for
+        # callers that iterate the dict the small-graph code path returns.
+        nodes = self._graph._nodes
+        for dense in np.flatnonzero(self._lengths != UNREACHABLE):
+            yield nodes[dense]
+
+    def keys(self) -> Iterator[Node]:
+        """Iterate over the reachable nodes (dict-style)."""
+        return iter(self)
+
+    def items(self):
+        """Iterate over ``(node, length)`` pairs for reachable nodes."""
+        nodes = self._graph._nodes
+        for dense in np.flatnonzero(self._lengths != UNREACHABLE):
+            yield nodes[dense], int(self._lengths[dense])

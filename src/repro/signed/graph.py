@@ -100,6 +100,9 @@ class SignedGraph:
         self._adjacency: Dict[Node, Dict[Node, Sign]] = {}
         self._num_edges = 0
         self._num_positive = 0
+        #: Bumped on every mutation; used to invalidate the cached CSR view.
+        self._mutations = 0
+        self._csr_cache: Optional[Tuple[int, object]] = None
 
     # ------------------------------------------------------------------ build
 
@@ -120,7 +123,9 @@ class SignedGraph:
 
     def add_node(self, node: Node) -> None:
         """Add ``node`` to the graph; adding an existing node is a no-op."""
-        self._adjacency.setdefault(node, {})
+        if node not in self._adjacency:
+            self._adjacency[node] = {}
+            self._mutations += 1
 
     def add_edge(self, u: Node, v: Node, sign: Sign) -> None:
         """Add the undirected signed edge ``(u, v, sign)``.
@@ -148,6 +153,7 @@ class SignedGraph:
         self._adjacency[u][v] = sign
         self._adjacency[v][u] = sign
         self._num_edges += 1
+        self._mutations += 1
         if sign == POSITIVE:
             self._num_positive += 1
 
@@ -160,6 +166,7 @@ class SignedGraph:
             return
         self._adjacency[u][v] = sign
         self._adjacency[v][u] = sign
+        self._mutations += 1
         if sign == POSITIVE:
             self._num_positive += 1
         else:
@@ -171,6 +178,7 @@ class SignedGraph:
         del self._adjacency[u][v]
         del self._adjacency[v][u]
         self._num_edges -= 1
+        self._mutations += 1
         if sign == POSITIVE:
             self._num_positive -= 1
 
@@ -181,6 +189,7 @@ class SignedGraph:
         for neighbor in list(self._adjacency[node]):
             self.remove_edge(node, neighbor)
         del self._adjacency[node]
+        self._mutations += 1
 
     # ------------------------------------------------------------------ query
 
@@ -277,6 +286,25 @@ class SignedGraph:
         return self._num_edges - self._num_positive
 
     # ------------------------------------------------------------- transforms
+
+    def csr_view(self):
+        """Return the indexed CSR snapshot of this graph (cached until mutation).
+
+        The view (:class:`~repro.signed.csr.CSRSignedGraph`) maps nodes to
+        dense integer ids and stores adjacency as flat offset/neighbour/sign
+        arrays — the backend the batched BFS algorithms run on.  It is rebuilt
+        lazily after any mutation; holding on to a stale view is safe (it is a
+        snapshot) but new queries through this method always reflect the
+        current graph.
+        """
+        from repro.signed.csr import CSRSignedGraph
+
+        cached = self._csr_cache
+        if cached is not None and cached[0] == self._mutations:
+            return cached[1]
+        view = CSRSignedGraph.from_signed_graph(self)
+        self._csr_cache = (self._mutations, view)
+        return view
 
     def copy(self) -> "SignedGraph":
         """Return an independent copy of the graph."""

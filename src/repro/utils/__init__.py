@@ -1,5 +1,6 @@
 """Small shared utilities: RNG handling, validation helpers, text tables, timing."""
 
+from repro.utils.lru import LRUCache
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.tables import format_table, format_percentage
 from repro.utils.timing import Timer
@@ -11,6 +12,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "LRUCache",
     "ensure_rng",
     "spawn_rngs",
     "format_table",

@@ -1,0 +1,111 @@
+"""A minimal bounded LRU mapping used by the per-source caches.
+
+The compatibility relations keep one expensive result per queried source node
+(a signed BFS, a balanced-path search, a distance map).  Left unbounded, a full
+:class:`~repro.compatibility.matrix.CompatibilityMatrix` on a large graph holds
+``O(n)`` results of ``O(n)`` size each — an easy OOM.  :class:`LRUCache` gives
+those caches a configurable ceiling while keeping the common small-graph
+workloads (where every source fits) entirely unaffected.
+
+``maxsize=None`` disables eviction, which callers can use to restore the old
+unbounded behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Iterator, Optional, Tuple, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LRUCache(Generic[K, V]):
+    """A dict-like mapping that evicts its least-recently-used entry when full.
+
+    Supports the small subset of the mapping protocol the relation caches use:
+    ``get``, ``__setitem__``, ``__contains__``, ``__len__``, ``items``,
+    ``clear``.  Reads (``get``) refresh recency; membership tests do not.
+
+    Example
+    -------
+    >>> cache = LRUCache(maxsize=2)
+    >>> cache["a"] = 1
+    >>> cache["b"] = 2
+    >>> _ = cache.get("a")   # refresh "a"
+    >>> cache["c"] = 3       # evicts "b", the least recently used
+    >>> sorted(cache)
+    ['a', 'c']
+    """
+
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError(f"maxsize must be positive or None, got {maxsize}")
+        self._maxsize = maxsize
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def maxsize(self) -> Optional[int]:
+        """The capacity bound (``None`` means unbounded)."""
+        return self._maxsize
+
+    @property
+    def hits(self) -> int:
+        """Number of successful :meth:`get` lookups."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of failed :meth:`get` lookups."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Number of entries dropped to respect ``maxsize``."""
+        return self._evictions
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Return the cached value for ``key`` (refreshing recency) or ``default``."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self._misses += 1
+            return default
+        self._hits += 1
+        self._data.move_to_end(key)
+        return value  # type: ignore[return-value]
+
+    def __setitem__(self, key: K, value: V) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if self._maxsize is not None and len(self._data) > self._maxsize:
+            self._data.popitem(last=False)
+            self._evictions += 1
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        """Iterate over ``(key, value)`` pairs, least recently used first."""
+        return iter(self._data.items())
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._data.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(len={len(self._data)}, maxsize={self._maxsize}, "
+            f"hits={self._hits}, misses={self._misses}, evictions={self._evictions})"
+        )

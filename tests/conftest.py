@@ -52,6 +52,26 @@ def figure_1b() -> SignedGraph:
 
 
 @pytest.fixture
+def prefix_trap_graph() -> SignedGraph:
+    """A graph where the SBPH heuristic misses a pair from *both* directions.
+
+    The exact SBP search finds a positive structurally balanced path between
+    nodes 2 and 4, but the prefix-property heuristic misses it whichever
+    endpoint the search starts from — so even the symmetrised SBPH relation
+    (compatible iff either direction finds a path) strictly under-approximates
+    SBP here.  Found by randomised search over small dense signed graphs.
+    """
+    return SignedGraph.from_edges(
+        [
+            (0, 1, -1), (0, 4, +1), (0, 6, +1), (0, 8, +1),
+            (1, 2, +1), (1, 3, +1), (1, 5, -1), (1, 6, -1), (1, 7, +1),
+            (2, 5, +1), (2, 8, +1), (3, 5, -1), (4, 8, -1),
+            (5, 6, +1), (6, 7, +1), (7, 8, -1),
+        ]
+    )
+
+
+@pytest.fixture
 def toy():
     """The hand-crafted 12-user dataset."""
     return toy_dataset()

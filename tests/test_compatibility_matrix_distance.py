@@ -46,6 +46,38 @@ class TestPairStatistics:
         assert matrix.are_compatible(3, 3)
         assert 1 in matrix.compatible_with(0)
 
+    def test_matrix_unknown_node_raises_node_not_found(self, two_factions):
+        # The CompatibilityRelation contract raises NodeNotFoundError for
+        # unknown nodes; the materialised matrix must do the same instead of
+        # leaking a bare KeyError.
+        from repro.exceptions import NodeNotFoundError
+
+        matrix = CompatibilityMatrix(make_relation("SPO", two_factions))
+        with pytest.raises(NodeNotFoundError):
+            matrix.are_compatible(0, "ghost")
+        with pytest.raises(NodeNotFoundError):
+            matrix.are_compatible("ghost", 0)
+        with pytest.raises(NodeNotFoundError):
+            matrix.compatible_with("ghost")
+
+    def test_exact_statistics_on_non_orderable_mixed_nodes(self):
+        # Index-based pair enumeration must not rely on node comparability or
+        # on repr uniqueness — mixed node types with colliding reprs work.
+        from repro.signed import SignedGraph
+
+        class Oddball:
+            def __repr__(self) -> str:  # collides with the string node "odd"
+                return "odd"
+
+        odd = Oddball()
+        graph = SignedGraph.from_edges([(0, "odd", +1), ("odd", odd, +1), (0, odd, +1)])
+        relation = make_relation("SPO", graph)
+        stats = exact_pair_statistics(relation)
+        assert stats.evaluated_pairs == 3
+        assert stats.compatible_pairs == 3
+        matrix = CompatibilityMatrix(relation)
+        assert len(matrix.compatible_pairs()) == 3
+
     def test_sampled_statistics_reasonable(self, small_random_graph):
         relation = make_relation("SPO", small_random_graph)
         exact = exact_pair_statistics(relation)
@@ -91,17 +123,19 @@ class TestRelationOverlap:
         relation = make_relation("SPO", two_factions)
         assert relation_overlap(relation, relation) == 1.0
 
-    def test_overlap_detects_differences(self, figure_1b):
-        sbp = make_relation("SBP", figure_1b)
-        sbph = make_relation("SBPH", figure_1b)
+    def test_overlap_detects_differences(self, prefix_trap_graph):
+        # The symmetrised SBPH relation still under-approximates SBP on graphs
+        # where the heuristic misses a pair from both directions.
+        sbp = make_relation("SBP", prefix_trap_graph)
+        sbph = make_relation("SBPH", prefix_trap_graph)
         overlap = relation_overlap(sbp, sbph)
         assert 0.0 < overlap < 1.0
 
-    def test_explicit_pair_list(self, figure_1b):
-        sbp = make_relation("SBP", figure_1b)
-        sbph = make_relation("SBPH", figure_1b)
-        assert relation_overlap(sbp, sbph, pairs=[("u", "v")]) == 0.0
-        assert relation_overlap(sbp, sbph, pairs=[("u", "x4")]) == 1.0
+    def test_explicit_pair_list(self, prefix_trap_graph):
+        sbp = make_relation("SBP", prefix_trap_graph)
+        sbph = make_relation("SBPH", prefix_trap_graph)
+        assert relation_overlap(sbp, sbph, pairs=[(2, 4)]) == 0.0
+        assert relation_overlap(sbp, sbph, pairs=[(2, 8)]) == 1.0
 
     def test_mismatched_graphs_rejected(self, two_factions, figure_1a):
         with pytest.raises(ValueError):

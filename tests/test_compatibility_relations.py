@@ -162,11 +162,39 @@ class TestBalancedRelations:
         assert StructurallyBalancedPathCompatibility(figure_1a).are_compatible("u", "v")
         assert HeuristicBalancedPathCompatibility(figure_1a).are_compatible("u", "v")
 
-    def test_figure_1b_heuristic_misses_pair(self, figure_1b):
-        exact = StructurallyBalancedPathCompatibility(figure_1b)
+    def test_figure_1b_heuristic_is_direction_dependent(self, figure_1b):
+        # The directional search misses u -> v (the prefix-property failure of
+        # Figure 1(b)) but finds the reversed path v -> u; the symmetrised
+        # SBPH relation therefore contains the pair in both query orders.
+        from repro.signed.paths import BalancedPathSearch
+
+        search = BalancedPathSearch(figure_1b)
+        assert "v" not in search.search_heuristic("u").positive_lengths
+        assert "u" in search.search_heuristic("v").positive_lengths
         heuristic = HeuristicBalancedPathCompatibility(figure_1b)
-        assert exact.are_compatible("u", "v")
-        assert not heuristic.are_compatible("u", "v")
+        assert heuristic.are_compatible("u", "v")
+        assert heuristic.are_compatible("v", "u")
+
+    def test_heuristic_misses_pair_from_both_directions(self, prefix_trap_graph):
+        # Even after symmetrisation SBPH under-approximates SBP: on this graph
+        # the heuristic misses the (2, 4) pair whichever endpoint it starts
+        # from, while the exact search finds a positive balanced path.
+        exact = StructurallyBalancedPathCompatibility(prefix_trap_graph)
+        heuristic = HeuristicBalancedPathCompatibility(prefix_trap_graph)
+        assert exact.are_compatible(2, 4)
+        assert not heuristic.are_compatible(2, 4)
+        assert not heuristic.are_compatible(4, 2)
+
+    def test_sbph_symmetry_regression(self, figure_1b):
+        # Regression for the SBPH symmetry violation: a fresh relation queried
+        # (u, v) must agree with a fresh relation queried (v, u).  Before the
+        # fix the answer depended on which endpoint was searched first.
+        first = HeuristicBalancedPathCompatibility(figure_1b)
+        second = HeuristicBalancedPathCompatibility(figure_1b)
+        assert first.are_compatible("u", "v") == second.are_compatible("v", "u")
+        # Both query orders agree on the same instance too, whatever the
+        # internal cache state is.
+        assert first.are_compatible("v", "u") == first.are_compatible("u", "v")
 
     def test_direct_enemies_never_compatible(self, figure_1a):
         relation = StructurallyBalancedPathCompatibility(figure_1a)
@@ -189,6 +217,20 @@ class TestBalancedRelations:
     def test_max_path_length_restricts_relation(self, figure_1b):
         bounded = StructurallyBalancedPathCompatibility(figure_1b, max_path_length=3)
         assert not bounded.are_compatible("u", "v")
+
+    def test_truncated_sources_survive_cache_eviction(self, small_random_graph):
+        # The truncation report must not depend on the (bounded, evictable)
+        # result cache: after a sweep larger than the cache, every truncated
+        # source is still reported.
+        relation = StructurallyBalancedPathCompatibility(
+            small_random_graph, max_expansions=5, result_cache_size=2
+        )
+        nodes = small_random_graph.nodes()[:6]
+        for node in nodes:
+            relation._search_from(node)
+        assert set(nodes) <= relation.truncated_sources()
+        relation.clear_cache()
+        assert relation.truncated_sources() == set()
 
 
 class TestContainmentChain:

@@ -26,6 +26,7 @@ from repro.signed import (
     harary_bipartition,
     is_balanced,
     signed_bfs,
+    signed_bfs_csr,
 )
 from repro.signed.balance import triangle_census
 from repro.signed.components import largest_connected_component
@@ -128,6 +129,19 @@ class TestSignedBFSProperties:
                 assert result.length(target) == len(paths[0]) - 1
 
     @SLOW_OK
+    @given(signed_graphs(min_nodes=2, max_nodes=9))
+    def test_csr_backend_matches_dict_backend(self, graph):
+        # The indexed CSR BFS must be bit-identical to the dict reference on
+        # arbitrary random graphs, including disconnected ones.
+        csr = graph.csr_view()
+        for source in graph.nodes():
+            expected = signed_bfs(graph, source)
+            actual = signed_bfs_csr(csr, source).to_signed_bfs_result()
+            assert actual.lengths == expected.lengths
+            assert actual.positive_counts == expected.positive_counts
+            assert actual.negative_counts == expected.negative_counts
+
+    @SLOW_OK
     @given(signed_graphs(min_nodes=3, max_nodes=8, connected=True))
     def test_total_counts_equal_number_of_shortest_paths(self, graph):
         nodes = graph.nodes()
@@ -213,11 +227,38 @@ class TestCompatibilityProperties:
     @SLOW_OK
     @given(signed_graphs(min_nodes=3, max_nodes=7, connected=True))
     def test_symmetry_of_sp_relations(self, graph):
+        # SBPH included: its directional heuristic search is symmetrised by
+        # the relation (the historic symmetry violation of the seed code).
         nodes = graph.nodes()
-        for name in ("SPA", "SPM", "SPO", "SBP"):
+        for name in ("SPA", "SPM", "SPO", "SBP", "SBPH"):
             relation = make_relation(name, graph)
             for u, v in itertools.combinations(nodes, 2):
                 assert relation.are_compatible(u, v) == relation.are_compatible(v, u)
+
+    @SLOW_OK
+    @given(
+        signed_graphs(min_nodes=3, max_nodes=7, connected=True),
+        st.randoms(use_true_random=False),
+    )
+    def test_symmetry_under_randomized_query_orders(self, graph, rng):
+        # Query pairs in a random interleaving so the per-source caches are in
+        # different states when each direction of a pair is evaluated — this
+        # exercises the cache-dependent source selection in the SP relations
+        # and the search-direction handling in SBP/SBPH.  Whatever the order,
+        # both directions of every pair must agree.
+        nodes = graph.nodes()
+        ordered_pairs = [
+            pair
+            for u, v in itertools.combinations(nodes, 2)
+            for pair in ((u, v), (v, u))
+        ]
+        for name in ("SPA", "SPM", "SPO", "SBP", "SBPH"):
+            relation = make_relation(name, graph)
+            shuffled = list(ordered_pairs)
+            rng.shuffle(shuffled)
+            answers = {pair: relation.are_compatible(*pair) for pair in shuffled}
+            for u, v in itertools.combinations(nodes, 2):
+                assert answers[(u, v)] == answers[(v, u)], (name, u, v)
 
     @SLOW_OK
     @given(signed_graphs(min_nodes=3, max_nodes=7, connected=True))

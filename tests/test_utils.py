@@ -8,6 +8,7 @@ import time
 import pytest
 
 from repro.utils import (
+    LRUCache,
     Timer,
     ensure_rng,
     format_percentage,
@@ -144,3 +145,70 @@ class TestTimer:
             first = timer.elapsed
             time.sleep(0.001)
             assert timer.elapsed >= first
+
+
+class TestLRUCache:
+    def test_acts_as_mapping(self):
+        cache = LRUCache()
+        cache["a"] = 1
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 7) == 7
+
+    def test_unbounded_by_default(self):
+        cache = LRUCache()
+        for i in range(10_000):
+            cache[i] = i
+        assert len(cache) == 10_000
+        assert cache.evictions == 0
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache["a"] = 1
+        cache["b"] = 2
+        assert cache.get("a") == 1  # refresh "a"
+        cache["c"] = 3              # evicts "b"
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_overwrite_refreshes_recency(self):
+        cache = LRUCache(maxsize=2)
+        cache["a"] = 1
+        cache["b"] = 2
+        cache["a"] = 10  # refresh + overwrite, no eviction
+        cache["c"] = 3   # evicts "b"
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_size_never_exceeds_maxsize(self):
+        cache = LRUCache(maxsize=5)
+        for i in range(50):
+            cache[i] = i
+        assert len(cache) == 5
+        assert sorted(cache) == list(range(45, 50))
+
+    def test_clear_and_statistics(self):
+        cache = LRUCache(maxsize=3)
+        cache["a"] = 1
+        cache.get("a")
+        cache.get("b")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert "LRUCache" in repr(cache)
+
+    def test_items_iterates_pairs(self):
+        cache = LRUCache(maxsize=4)
+        cache["a"] = 1
+        cache["b"] = 2
+        assert dict(cache.items()) == {"a": 1, "b": 2}
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=-3)
