@@ -19,6 +19,7 @@ from repro.compatibility.direct import (
     NoNegativeEdgeCompatibility,
 )
 from repro.compatibility.distance import DistanceOracle, average_compatible_distance
+from repro.compatibility.engine import CompatibilityEngine
 from repro.compatibility.matrix import (
     CompatibilityMatrix,
     PairStatistics,
@@ -79,6 +80,7 @@ __all__ = [
     "OneShortestPathCompatibility",
     "StructurallyBalancedPathCompatibility",
     "HeuristicBalancedPathCompatibility",
+    "CompatibilityEngine",
     "DistanceOracle",
     "average_compatible_distance",
     "CompatibilityMatrix",

@@ -26,15 +26,26 @@ balanced path) and still under-approximates exact SBP.
 
 Both relations additionally expose the length of the best positive balanced
 path found, which is the distance the team-formation cost uses under SBP/SBPH.
-Per-source search results live in a bounded LRU (``result_cache_size``), so a
-full sweep over a large graph cannot exhaust memory.
+Per-source search results live in a bounded LRU (``result_cache_size``; the
+default ``"auto"`` scales the bound down on huge graphs), so a full sweep over
+a large graph cannot exhaust memory.
+
+Backends
+--------
+The SBPH heuristic search has two bit-identical implementations: the
+per-edge dict search (:meth:`~repro.signed.paths.BalancedPathSearch.search_heuristic`)
+and the indexed (node, sign)-state CSR BFS
+(:func:`repro.signed.csr.balanced_heuristic_search_csr`), which vectorises
+frontier expansion and visited-state filtering.  ``backend="auto"`` (default)
+uses the CSR search on large graphs when numpy is available; the exact SBP
+enumeration always runs on the dict machinery.
 """
 
 from __future__ import annotations
 
 from typing import FrozenSet, List, Optional, Sequence, Set
 
-from repro.compatibility.base import DEFAULT_COMPATIBLE_CACHE_SIZE, CompatibilityRelation
+from repro.compatibility.base import CacheSize, CompatibilityRelation, resolve_cache_size
 from repro.signed.graph import NEGATIVE, Node, SignedGraph
 from repro.signed.paths import (
     INFINITY,
@@ -42,7 +53,8 @@ from repro.signed.paths import (
     BalancedPathSearch,
     shortest_signed_walk_lengths,
 )
-from repro.utils.lru import LRUCache
+from repro.utils.lru import APPROX_BYTES_PER_NODE, LRUCache
+from repro.utils.optional import numpy_available, require_numpy, warn_numpy_missing
 
 #: Default bound on the number of cached per-source balanced-path results.
 #: Sized to hold a full sweep of graphs up to its own size (the symmetric
@@ -58,20 +70,35 @@ class _BalancedPathRelation(CompatibilityRelation):
     #: Whether the search is exhaustive (overridden by subclasses).
     exact_search = True
 
+    #: ``backend="auto"`` uses the CSR heuristic search from this size upward.
+    CSR_SEARCH_THRESHOLD = 1024
+
     def __init__(
         self,
         graph: SignedGraph,
         max_path_length: Optional[int] = None,
         max_expansions: int = 2_000_000,
-        result_cache_size: Optional[int] = DEFAULT_RESULT_CACHE_SIZE,
-        compatible_cache_size: Optional[int] = DEFAULT_COMPATIBLE_CACHE_SIZE,
+        result_cache_size: CacheSize = "auto",
+        compatible_cache_size: CacheSize = "auto",
+        backend: str = "auto",
     ) -> None:
         super().__init__(graph, compatible_cache_size=compatible_cache_size)
+        if backend not in ("auto", "dict", "csr"):
+            raise ValueError(
+                f"backend must be 'auto', 'dict' or 'csr', got {backend!r}"
+            )
+        if backend == "csr":
+            require_numpy("backend='csr'")
+        self._backend = backend
         self._search = BalancedPathSearch(
             graph, max_length=max_path_length, max_expansions=max_expansions
         )
+        num_nodes = graph.number_of_nodes()
         self._result_cache: LRUCache[Node, BalancedPathResult] = LRUCache(
-            maxsize=result_cache_size
+            maxsize=resolve_cache_size(
+                result_cache_size, DEFAULT_RESULT_CACHE_SIZE, num_nodes
+            ),
+            bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
         )
         # Truncation must survive cache eviction: remember *which* sources hit
         # the expansion cap in a small persistent set of node ids, not via the
@@ -79,11 +106,34 @@ class _BalancedPathRelation(CompatibilityRelation):
         self._truncated_sources: Set[Node] = set()
         self.max_path_length = max_path_length
 
+    def _use_csr_search(self) -> bool:
+        """Whether the heuristic search should run on the CSR backend.
+
+        Only the SBPH heuristic has a CSR implementation; the exact SBP
+        enumeration is inherently path-by-path.  High-diameter graphs pay the
+        level-synchronous fixed cost here too — force ``backend="dict"`` for
+        paths and grids.
+        """
+        if self.exact_search:
+            return False
+        if self._backend == "csr":
+            return True
+        if self._backend == "dict":
+            return False
+        if self._graph.number_of_nodes() < self.CSR_SEARCH_THRESHOLD:
+            return False
+        if not numpy_available():
+            warn_numpy_missing(f"{self.name} backend='auto'")
+            return False
+        return True
+
     def _search_from(self, source: Node) -> BalancedPathResult:
         result = self._result_cache.get(source)
         if result is None:
             if self.exact_search:
                 result = self._search.search_exact(source)
+            elif self._use_csr_search():
+                result = self._search.search_heuristic_indexed(source)
             else:
                 result = self._search.search_heuristic(source)
             self._result_cache[source] = result

@@ -22,14 +22,34 @@ cheap.
 from __future__ import annotations
 
 import abc
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.exceptions import NodeNotFoundError
 from repro.signed.graph import NEGATIVE, POSITIVE, Node, SignedGraph
-from repro.utils.lru import LRUCache
+from repro.utils.lru import APPROX_BYTES_PER_NODE, LRUCache, scaled_cache_size
 
-#: Default bound on the number of cached per-source compatible sets.
+#: Default bound on the number of cached per-source compatible sets (the
+#: ceiling the byte-aware ``"auto"`` sizing starts from).
 DEFAULT_COMPATIBLE_CACHE_SIZE = 4096
+
+#: A cache-size parameter: an explicit entry bound, ``None`` for unbounded, or
+#: ``"auto"`` for a byte-aware bound scaled by graph size (entries are O(n);
+#: see :func:`repro.utils.lru.scaled_cache_size`).
+CacheSize = Union[int, None, str]
+
+
+def resolve_cache_size(value: CacheSize, ceiling: int, num_nodes: int) -> Optional[int]:
+    """Resolve a :data:`CacheSize` parameter to an entry bound.
+
+    ``"auto"`` scales ``ceiling`` down so the cache stays within the default
+    byte budget for a graph of ``num_nodes`` nodes; integers and ``None`` pass
+    through unchanged.  Any other string is rejected.
+    """
+    if isinstance(value, str):
+        if value != "auto":
+            raise ValueError(f"cache size must be an int, None or 'auto', got {value!r}")
+        return scaled_cache_size(ceiling, num_nodes)
+    return value
 
 
 class CompatibilityRelation(abc.ABC):
@@ -42,8 +62,9 @@ class CompatibilityRelation(abc.ABC):
     compatible_cache_size:
         LRU bound on cached per-source compatible sets; each set is O(n), so
         the bound caps the relation's memory at roughly
-        ``compatible_cache_size * n`` references on dense relations.  ``None``
-        disables eviction.
+        ``compatible_cache_size * n`` references on dense relations.  The
+        default ``"auto"`` scales :data:`DEFAULT_COMPATIBLE_CACHE_SIZE` down
+        by graph size to respect a byte budget; ``None`` disables eviction.
     """
 
     #: Short name used in the paper's tables (e.g. ``"SPA"``); set by subclasses.
@@ -52,11 +73,15 @@ class CompatibilityRelation(abc.ABC):
     def __init__(
         self,
         graph: SignedGraph,
-        compatible_cache_size: Optional[int] = DEFAULT_COMPATIBLE_CACHE_SIZE,
+        compatible_cache_size: CacheSize = "auto",
     ) -> None:
         self._graph = graph
+        num_nodes = graph.number_of_nodes()
         self._compatible_cache: LRUCache[Node, FrozenSet[Node]] = LRUCache(
-            maxsize=compatible_cache_size
+            maxsize=resolve_cache_size(
+                compatible_cache_size, DEFAULT_COMPATIBLE_CACHE_SIZE, num_nodes
+            ),
+            bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
         )
 
     @property

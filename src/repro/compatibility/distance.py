@@ -18,41 +18,50 @@ pairs.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.compatibility.balanced import _BalancedPathRelation
-from repro.compatibility.base import CompatibilityRelation
+from repro.compatibility.base import CacheSize, CompatibilityRelation, resolve_cache_size
 from repro.compatibility.shortest_path import CSR_AUTO_THRESHOLD, _ShortestPathRelation
-from repro.signed.csr import CSRLengths, shortest_path_lengths_csr
 from repro.signed.graph import Node, SignedGraph
 from repro.signed.paths import INFINITY, shortest_path_lengths
-from repro.utils.lru import LRUCache
+from repro.utils.lru import APPROX_BYTES_PER_NODE, LRUCache, fetch_batched
+from repro.utils.optional import numpy_available
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import require_positive
 
-#: Default bound on the number of cached single-source distance maps.
+#: Default bound on the number of cached single-source distance maps (the
+#: ceiling the byte-aware ``"auto"`` sizing starts from).
 DEFAULT_DISTANCE_CACHE_SIZE = 2048
 
 
 class DistanceOracle:
     """Pairwise user distances consistent with a compatibility relation.
 
-    Single-source distance maps are cached in a bounded LRU
-    (``cache_size`` entries, ``None`` = unbounded).  The sign-agnostic BFS
-    follows the relation's backend choice when the relation has one (an SP*
-    relation built with ``backend="dict"`` keeps the oracle on the dict BFS
-    too); otherwise it switches to the indexed CSR backend at
-    :data:`~repro.compatibility.shortest_path.CSR_AUTO_THRESHOLD` nodes.
+    Single-source distance maps are cached in a bounded LRU (``cache_size``
+    entries; the default ``"auto"`` scales the bound by graph size, ``None``
+    disables eviction).  The sign-agnostic BFS follows the relation's backend
+    choice when the relation has one (an SP* relation built with
+    ``backend="dict"`` keeps the oracle on the dict BFS too); otherwise it
+    switches to the indexed CSR backend at
+    :data:`~repro.compatibility.shortest_path.CSR_AUTO_THRESHOLD` nodes when
+    numpy is available.  :meth:`warm` and :meth:`batch_distance_to_set` are
+    the batched entry points the :class:`~repro.compatibility.engine.CompatibilityEngine`
+    uses to resolve many candidates against a team in one lockstep sweep.
     """
 
     def __init__(
         self,
         relation: CompatibilityRelation,
-        cache_size: Optional[int] = DEFAULT_DISTANCE_CACHE_SIZE,
+        cache_size: CacheSize = "auto",
     ) -> None:
         self._relation = relation
         self._graph = relation.graph
-        self._bfs_cache: LRUCache[Node, object] = LRUCache(maxsize=cache_size)
+        num_nodes = self._graph.number_of_nodes()
+        self._bfs_cache: LRUCache[Node, object] = LRUCache(
+            maxsize=resolve_cache_size(cache_size, DEFAULT_DISTANCE_CACHE_SIZE, num_nodes),
+            bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
+        )
 
     @property
     def relation(self) -> CompatibilityRelation:
@@ -109,15 +118,106 @@ class DistanceOracle:
                 return INFINITY
         return best
 
+    def warm(self, sources: Iterable[Node]) -> List[object]:
+        """Prefetch the single-source distance maps of ``sources``, batched.
+
+        On the CSR backend every uncached source joins one lockstep
+        multi-source BFS
+        (:func:`repro.signed.csr.multi_source_shortest_path_lengths_csr`)
+        instead of running its own traversal.  Returns the maps in input
+        order; they are also written through to the cache.  All requested
+        maps are computed and held for the duration of the call (callers pass
+        team-sized lists); prefetch-only sweeps larger than the cache bound
+        should warm in cache-sized chunks — see
+        :func:`average_compatible_distance` — or the excess entries evict
+        each other before they are read.  For balanced-path relations the
+        oracle distance is not a plain BFS distance, so this is a no-op
+        returning an empty list.
+        """
+        if isinstance(self._relation, _BalancedPathRelation):
+            return []
+        source_list = list(sources)
+
+        def compute_missing(missing: List[Node]) -> List[object]:
+            if self._use_csr():
+                from repro.signed.csr import (
+                    CSRLengths,
+                    multi_source_shortest_path_lengths_csr,
+                )
+
+                csr = self._graph.csr_view()
+                arrays = multi_source_shortest_path_lengths_csr(csr, missing)
+                return [CSRLengths(csr, lengths) for lengths in arrays]
+            return [shortest_path_lengths(self._graph, source) for source in missing]
+
+        return fetch_batched(self._bfs_cache, source_list, compute_missing)
+
+    def batch_distance_to_set(
+        self, candidates: Sequence[Node], team: Iterable[Node]
+    ) -> List[float]:
+        """:meth:`distance_to_set` for many candidates at once.
+
+        The team members' distance maps are prefetched in one batched sweep
+        (:meth:`warm`) and, on the CSR backend, the per-candidate maximum over
+        members is computed with array indexing instead of a Python loop per
+        pair.  Values are identical to calling :meth:`distance_to_set` per
+        candidate; balanced-path relations (whose distance is the balanced
+        path length, not a BFS level) delegate to exactly that loop.
+        """
+        candidate_list = list(candidates)
+        team_list = list(team)
+        if not candidate_list:
+            return []
+        if not team_list:
+            return [0.0] * len(candidate_list)
+        if isinstance(self._relation, _BalancedPathRelation) or not self._use_csr():
+            return [self.distance_to_set(c, team_list) for c in candidate_list]
+        import numpy as np
+
+        from repro.signed.csr import CSRLengths, UNREACHABLE
+
+        maps = self.warm(team_list)
+        if not all(isinstance(view, CSRLengths) for view in maps):
+            # Mixed cache contents (e.g. maps computed before a backend
+            # switch): the per-candidate loop handles every map type.
+            return [self.distance_to_set(c, team_list) for c in candidate_list]
+        csr = maps[0]._graph
+        if not all(view._graph is csr for view in maps):
+            # Maps from different CSR snapshots: dense ids are not comparable,
+            # let the per-candidate loop resolve each map through its own view.
+            return [self.distance_to_set(c, team_list) for c in candidate_list]
+        dense = [csr._index.get(c) for c in candidate_list]
+        if any(position is None for position in dense):
+            # A candidate missing from the snapshot (graph mutated since the
+            # maps were built): legacy lookups treat it as unreachable — keep
+            # that behaviour via the per-candidate loop.
+            return [self.distance_to_set(c, team_list) for c in candidate_list]
+        ids = np.asarray(dense, dtype=np.int64)
+        best = np.zeros(len(candidate_list), dtype=np.float64)
+        for view in maps:
+            values = view._lengths[ids].astype(np.float64)
+            values[values == UNREACHABLE] = INFINITY
+            np.maximum(best, values, out=best)
+        return [float(value) for value in best]
+
+    def clear_cache(self) -> None:
+        """Drop all cached distance maps (call after mutating the graph)."""
+        self._bfs_cache.clear()
+
     def _use_csr(self) -> bool:
         if isinstance(self._relation, _ShortestPathRelation):
             return self._relation._use_csr()
-        return self._graph.number_of_nodes() >= CSR_AUTO_THRESHOLD
+        return (
+            numpy_available()
+            and self._graph.number_of_nodes() >= CSR_AUTO_THRESHOLD
+        )
 
     def _shortest_paths_from(self, source: Node):
         lengths = self._bfs_cache.get(source)
         if lengths is None:
             if self._use_csr():
+                from repro.signed.csr import CSRLengths, shortest_path_lengths_csr
+
                 csr = self._graph.csr_view()
                 lengths = CSRLengths(csr, shortest_path_lengths_csr(csr, source))
             else:
@@ -167,15 +267,29 @@ def average_compatible_distance(
         # sweep; pre-warming makes the per-source compatible_with calls below
         # cache hits instead of repeating the sweep under LRU pressure.
         relation.batch_compatible_sets(sources)
-        for u in sources:
-            compatible = relation.compatible_with(u)
-            for v in compatible:
-                if v == u:
-                    continue
-                distance = oracle.distance(u, v)
-                if distance != INFINITY:
-                    total += distance
-                    count += 1
+        # On the CSR backend the oracle's distance maps are warmed in
+        # cache-bound-sized chunks, consumed chunk by chunk: warming the
+        # whole sample at once would evict every map beyond the LRU bound
+        # before the loop reads it.  On the dict backend (or for balanced
+        # relations, whose distance is served by the search results) warming
+        # has no batching benefit, so maps stay lazy — sources with an empty
+        # compatible set never compute one, as before.
+        warm = oracle._use_csr() and not isinstance(relation, _BalancedPathRelation)
+        bound = oracle._bfs_cache.maxsize
+        chunk = len(sources) if bound is None else max(1, min(len(sources), bound))
+        for start in range(0, len(sources), chunk):
+            chunk_sources = sources[start : start + chunk]
+            if warm:
+                oracle.warm(chunk_sources)
+            for u in chunk_sources:
+                compatible = relation.compatible_with(u)
+                for v in compatible:
+                    if v == u:
+                        continue
+                    distance = oracle.distance(u, v)
+                    if distance != INFINITY:
+                        total += distance
+                        count += 1
     if count == 0:
         return 0.0, 0
     return total / count, count

@@ -1,0 +1,272 @@
+"""The batched, backend-aware compatibility query service.
+
+Team formation (Section 4 of the paper) keeps asking *one-to-many* questions:
+"which holders of skill ``s`` are compatible with the current team?", "how far
+is each candidate from the team?".  The per-pair relation API answers them one
+:meth:`~repro.compatibility.base.CompatibilityRelation.are_compatible` call at
+a time — correct, but each call pays Python-interpreter cost, and none of the
+batched CSR kernels (:mod:`repro.signed.csr`) get a chance to amortise work
+across the candidates.
+
+:class:`CompatibilityEngine` is the shared service every layer above the
+kernels queries instead:
+
+* :class:`~repro.teams.problem.TeamFormationProblem` filters per-skill
+  candidates through :meth:`compatible_from_many`;
+* the user-selection policies score candidates through
+  :meth:`distances_to_team_many` and prefetch compatible sets through
+  :meth:`compatible_sets`;
+* the generic Algorithm 2 warms the seed users' per-source computations in
+  one lockstep batch (:meth:`warm`);
+* the experiment harness routes its sampled pair statistics through
+  :meth:`compatibility_degrees`.
+
+The engine decides per relation and backend how to serve each query: SP*
+relations on the CSR backend answer team filters with one lockstep
+multi-source BFS plus a vectorised pair-rule mask; every other relation (and
+the ``batched=False`` legacy mode) falls back to exactly the per-pair loop the
+call sites used before, so results are identical by construction — the
+equivalence tests assert the teams, costs and statistics match bit for bit.
+
+The per-pair relation API (``are_compatible`` / ``compatible_with``) remains
+fully supported; it now simply is the thin layer the engine degrades to when
+no batched strategy applies.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.compatibility.base import CompatibilityRelation
+from repro.compatibility.distance import DistanceOracle
+from repro.compatibility.shortest_path import _ShortestPathRelation
+from repro.signed.graph import Node, SignedGraph
+from repro.signed.paths import SignedBFSResult
+
+
+class CompatibilityEngine:
+    """Batched one-to-many compatibility and distance queries for one relation.
+
+    Parameters
+    ----------
+    relation:
+        The compatibility relation to serve queries for.
+    oracle:
+        Optional pre-built :class:`DistanceOracle`; built from ``relation``
+        when omitted.  Sharing the oracle shares its distance-map caches.
+    batched:
+        When false, every query runs the legacy per-pair code path.  This is
+        the reference mode the equivalence tests compare against; production
+        callers leave it on.
+    """
+
+    def __init__(
+        self,
+        relation: CompatibilityRelation,
+        oracle: Optional[DistanceOracle] = None,
+        batched: bool = True,
+    ) -> None:
+        self._relation = relation
+        self._oracle = oracle if oracle is not None else DistanceOracle(relation)
+        if self._oracle.relation is not relation:
+            raise ValueError("the oracle must be built on the engine's relation")
+        self._batched = batched
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def relation(self) -> CompatibilityRelation:
+        """The compatibility relation this engine serves."""
+        return self._relation
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        """The distance oracle consistent with the relation."""
+        return self._oracle
+
+    @property
+    def graph(self) -> SignedGraph:
+        """The signed graph the relation is bound to."""
+        return self._relation.graph
+
+    @property
+    def batched(self) -> bool:
+        """Whether batched strategies are enabled (false = legacy per-pair)."""
+        return self._batched
+
+    # ------------------------------------------------------- pairwise facade
+
+    def are_compatible(self, u: Node, v: Node) -> bool:
+        """Per-pair query, delegated to the relation."""
+        return self._relation.are_compatible(u, v)
+
+    def compatible_set(self, u: Node) -> FrozenSet[Node]:
+        """The compatible set of ``u`` (always contains ``u``), cached."""
+        return self._relation.compatible_with(u)
+
+    def distance(self, u: Node, v: Node) -> float:
+        """Pairwise distance under the relation's definition."""
+        return self._oracle.distance(u, v)
+
+    # --------------------------------------------------------- batched queries
+
+    def compatible_sets(self, sources: Sequence[Node]) -> List[FrozenSet[Node]]:
+        """Compatible sets for many sources through the relation's batch path.
+
+        SP* relations resolve uncached sources with one lockstep multi-source
+        BFS; balanced relations share one reverse sweep; the rest loop.  Each
+        set equals :meth:`compatible_set` exactly.
+        """
+        source_list = list(sources)
+        if not self._batched:
+            return [self._relation.compatible_with(source) for source in source_list]
+        return self._relation.batch_compatible_sets(source_list)
+
+    def compatibility_degrees(self, sources: Sequence[Node]) -> List[int]:
+        """Number of *other* compatible nodes per source, batched."""
+        source_list = list(sources)
+        if not self._batched:
+            return [self._relation.compatibility_degree(s) for s in source_list]
+        return self._relation.batch_compatibility_degrees(source_list)
+
+    def warm(self, sources: Sequence[Node], distances: bool = True) -> None:
+        """Prefetch per-source computations the coming queries will need.
+
+        For SP* relations on the CSR backend this runs one lockstep
+        multi-source BFS over the uncached sources (bounded by the BFS cache
+        size, so a huge seed list cannot churn the cache).  The matching
+        distance maps are warmed alongside only when ``distances`` is true —
+        callers whose downstream queries never ask for distances (e.g.
+        Algorithm 2 under the most-compatible or random user policy) pass
+        false and skip that sweep.  Purely an optimisation — results of later
+        queries are unchanged.
+        """
+        if not self._batched:
+            return
+        source_list = list(dict.fromkeys(sources))
+        if not source_list:
+            return
+        relation = self._relation
+        if isinstance(relation, _ShortestPathRelation) and relation._use_csr():
+            budget = relation._bfs_cache.maxsize
+            if budget is not None:
+                source_list = source_list[:budget]
+            relation.batch_bfs(source_list)
+            if distances:
+                self._oracle.warm(source_list)
+
+    def compatible_from_many(
+        self, candidates: Iterable[Node], team: Sequence[Node]
+    ) -> FrozenSet[Node]:
+        """The candidates compatible with *every* member of ``team``.
+
+        Team members themselves are excluded from the result, mirroring the
+        legacy candidate filter.  SP* relations on the CSR backend answer with
+        one batched BFS over the team plus vectorised pair-rule masks indexed
+        at the candidates; everything else runs the legacy per-pair loop.
+        The result is identical either way (the SP* pair rules are symmetric
+        in the pair, so membership in the member's masked set *is* the pair
+        query).
+        """
+        team_list = list(team)
+        team_set = set(team_list)
+        survivors = [c for c in candidates if c not in team_set]
+        if not team_list or not survivors:
+            return frozenset(survivors)
+        relation = self._relation
+        if (
+            self._batched
+            and isinstance(relation, _ShortestPathRelation)
+            and relation._use_csr()
+        ):
+            return self._compatible_from_many_csr(survivors, team_list)
+        return frozenset(
+            candidate
+            for candidate in survivors
+            # Query with the team member first: the relations cache their
+            # per-source computation, and the members recur across candidates.
+            if all(relation.are_compatible(member, candidate) for member in team_list)
+        )
+
+    def _compatible_from_many_csr(
+        self, survivors: Sequence[Node], team: Sequence[Node]
+    ) -> FrozenSet[Node]:
+        """Vectorised team filter: one batched BFS, one mask per member."""
+        import numpy as np
+
+        from repro.signed.csr import UNREACHABLE
+
+        relation = self._relation
+        results = relation.batch_bfs(team)
+        csr = self.graph.csr_view()
+        index = csr._index
+        try:
+            ids = np.fromiter(
+                (index[candidate] for candidate in survivors),
+                dtype=np.int64,
+                count=len(survivors),
+            )
+        except KeyError as missing:
+            from repro.exceptions import NodeNotFoundError
+
+            raise NodeNotFoundError(missing.args[0]) from None
+        keep = np.ones(len(survivors), dtype=bool)
+        for member, result in zip(team, results):
+            # The vectorised mask requires the member's arrays to be indexed
+            # by the *current* snapshot's dense ids; dict results (overflow or
+            # probe fallback) and results cached against an older snapshot
+            # (graph mutated without clear_cache) go through the per-pair
+            # checks instead, which resolve nodes via the result's own index —
+            # exactly the legacy are_compatible semantics.
+            if isinstance(result, SignedBFSResult) or result.graph is not csr:
+                for position, candidate in enumerate(survivors):
+                    if not keep[position]:
+                        continue
+                    if not result.reachable(candidate):
+                        keep[position] = False
+                        continue
+                    positive, negative = result.counts(candidate)
+                    if not relation._pair_rule(positive, negative):
+                        keep[position] = False
+                continue
+            mask = relation._pair_rule_mask(
+                result.positive_array, result.negative_array
+            ) & (result.lengths_array != UNREACHABLE)
+            keep &= mask[ids]
+            if not keep.any():
+                break
+        return frozenset(
+            survivors[position] for position in np.flatnonzero(keep)
+        )
+
+    def distance_to_team(self, node: Node, team: Iterable[Node]) -> float:
+        """Largest distance from ``node`` to any team member (legacy single)."""
+        return self._oracle.distance_to_set(node, team)
+
+    def distances_to_team_many(
+        self, candidates: Sequence[Node], team: Sequence[Node]
+    ) -> List[float]:
+        """:meth:`distance_to_team` for every candidate, batched.
+
+        The team's distance maps are computed in one lockstep sweep and the
+        per-candidate maxima are taken with array indexing on the CSR
+        backend; values equal the per-candidate calls exactly.
+        """
+        candidate_list = list(candidates)
+        if not self._batched:
+            return [
+                self._oracle.distance_to_set(candidate, team)
+                for candidate in candidate_list
+            ]
+        return self._oracle.batch_distance_to_set(candidate_list, team)
+
+    def clear_caches(self) -> None:
+        """Drop the relation's and the oracle's caches (call after mutating the graph)."""
+        self._relation.clear_cache()
+        self._oracle.clear_cache()
+
+    def __repr__(self) -> str:
+        return (
+            f"CompatibilityEngine(relation={self._relation.name}, "
+            f"batched={self._batched})"
+        )

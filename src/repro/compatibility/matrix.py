@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.compatibility.base import CompatibilityRelation
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids a cycle)
+    from repro.compatibility.engine import CompatibilityEngine
 from repro.exceptions import NodeNotFoundError
 from repro.signed.graph import Node, SignedGraph
 from repro.utils.rng import RandomState, ensure_rng
@@ -172,6 +175,7 @@ def source_sampled_pair_statistics(
     relation: CompatibilityRelation,
     num_sources: int,
     seed: RandomState = None,
+    engine: Optional["CompatibilityEngine"] = None,
 ) -> PairStatistics:
     """Estimate the compatible-pair fraction from a uniform sample of *sources*.
 
@@ -183,20 +187,29 @@ def source_sampled_pair_statistics(
     pre-computation (SBP/SBPH).  The estimator is unbiased because the
     compatible-pair indicator is symmetric in the pair.
 
-    The sample is answered through the relation's
-    ``batch_compatibility_degrees`` strategy: the SP* family runs its
-    vectorised CSR BFS per source over one shared index, the balanced
-    relations resolve the whole sample with one shared reverse sweep, and the
-    base-class default loops ``compatible_with``.  The counts — and therefore
-    the returned statistics — are identical across strategies.
+    The sample is answered through the relation's batched strategy: the SP*
+    family runs one lockstep multi-source CSR BFS, the balanced relations
+    resolve the whole sample with one shared reverse sweep, and the
+    base-class default loops ``compatible_with``.  Passing an ``engine``
+    routes the sweep through
+    :meth:`~repro.compatibility.engine.CompatibilityEngine.compatibility_degrees`
+    so the call honours the engine's mode (a ``batched=False`` engine answers
+    per source — the legacy reference the equivalence tests compare against);
+    a batched engine delegates straight back to the relation.  The counts —
+    and therefore the returned statistics — are identical across strategies.
     """
     require_positive(num_sources, "num_sources")
+    if engine is not None and engine.relation is not relation:
+        raise ValueError("the engine must be built on the given relation")
     rng = ensure_rng(seed)
     nodes = relation.graph.nodes()
     if len(nodes) < 2:
         return PairStatistics(relation.name, 0, 0, sampled=True)
     sources = rng.sample(nodes, min(num_sources, len(nodes)))
-    compatible = sum(relation.batch_compatibility_degrees(sources))
+    if engine is not None:
+        compatible = sum(engine.compatibility_degrees(sources))
+    else:
+        compatible = sum(relation.batch_compatibility_degrees(sources))
     evaluated = len(sources) * (len(nodes) - 1)
     return PairStatistics(
         relation_name=relation.name,
@@ -211,16 +224,20 @@ def pair_statistics(
     max_exact_nodes: int = 500,
     num_sampled_sources: int = 200,
     seed: RandomState = None,
+    engine: Optional["CompatibilityEngine"] = None,
 ) -> PairStatistics:
     """Exact statistics for small graphs, source-sampled statistics otherwise.
 
     ``max_exact_nodes`` controls the cut-over: graphs with at most that many
     nodes are enumerated exhaustively (like the paper does for Slashdot),
-    larger graphs are estimated from ``num_sampled_sources`` random sources.
+    larger graphs are estimated from ``num_sampled_sources`` random sources
+    (routed through ``engine`` when one is given).
     """
     if relation.graph.number_of_nodes() <= max_exact_nodes:
         return exact_pair_statistics(relation)
-    return source_sampled_pair_statistics(relation, num_sampled_sources, seed=seed)
+    return source_sampled_pair_statistics(
+        relation, num_sampled_sources, seed=seed, engine=engine
+    )
 
 
 def relation_overlap(

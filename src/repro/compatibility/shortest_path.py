@@ -11,42 +11,63 @@ negative shortest paths from a query node to every other node in one BFS:
 Two interchangeable backends run Algorithm 1:
 
 * ``"dict"`` — the pure-Python BFS over the adjacency dictionary; lowest
-  latency on small graphs and the reference implementation;
+  latency on small graphs, the reference implementation, and the only backend
+  available on numpy-free installs;
 * ``"csr"`` — the indexed array BFS over the graph's
   :meth:`~repro.signed.graph.SignedGraph.csr_view`
   (:func:`repro.signed.csr.signed_bfs_csr`); an order of magnitude faster per
-  source on SNAP-scale graphs and the backend the batched pair statistics use.
+  source on SNAP-scale graphs, with a true lockstep multi-source kernel
+  (:func:`repro.signed.csr.multi_source_signed_bfs`) behind :meth:`batch_bfs`.
 
-``backend="auto"`` (the default) picks ``"csr"`` once the graph has at least
-:data:`CSR_AUTO_THRESHOLD` nodes.  Both backends produce identical relations —
-the equivalence tests in ``tests/test_csr.py`` compare them bit for bit.
+``backend="auto"`` (the default) is **size- and diameter-adaptive**: the CSR
+backend is considered once the graph has at least :data:`CSR_AUTO_THRESHOLD`
+nodes, but because the level-synchronous CSR BFS pays ~20 array operations per
+level, high-diameter graphs (paths, grids, meshes) run faster on the dict
+backend.  The first BFS in auto mode therefore runs on the dict backend and
+counts its levels: if the probe's eccentricity exceeds
+:data:`CSR_AUTO_LEVEL_THRESHOLD`, the relation commits to the dict backend;
+otherwise it commits to CSR.  The probe result is cached like any other BFS,
+so the work is never wasted.  On numpy-free installs ``"auto"`` falls back to
+the dict backend with a one-time warning, while an explicit ``backend="csr"``
+raises :class:`ImportError` at construction time.  All backends produce
+identical relations — the equivalence tests compare them bit for bit.
 
 The per-source BFS result is cached in a bounded LRU
-(:class:`repro.utils.lru.LRUCache`), so computing the compatible set of a node
-and then asking pair queries from the same node costs a single BFS while a
-full sweep over a huge graph can no longer exhaust memory; ``bfs_cache_size``
-tunes the bound (``None`` restores the unbounded behaviour).
+(:class:`repro.utils.lru.LRUCache`); the default ``bfs_cache_size="auto"``
+scales the entry bound down on huge graphs so the cache stays within a fixed
+byte budget (entries are O(n) — see :func:`repro.utils.lru.scaled_cache_size`).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Union
+from typing import FrozenSet, List, Optional, Sequence, Set, Union
 
-import numpy as np
-
-from repro.compatibility.base import DEFAULT_COMPATIBLE_CACHE_SIZE, CompatibilityRelation
-from repro.signed.csr import CSRSignedBFSResult, signed_bfs_csr
+from repro.compatibility.base import (
+    CacheSize,
+    CompatibilityRelation,
+    resolve_cache_size,
+)
 from repro.signed.graph import Node, SignedGraph
 from repro.signed.paths import SignedBFSResult, signed_bfs
-from repro.utils.lru import LRUCache
+from repro.utils.lru import APPROX_BYTES_PER_NODE, LRUCache, fetch_batched
+from repro.utils.optional import numpy_available, require_numpy, warn_numpy_missing
 
-#: ``backend="auto"`` switches from the dict BFS to the CSR BFS at this size.
+#: ``backend="auto"`` considers the CSR BFS from this graph size upward.
 CSR_AUTO_THRESHOLD = 1024
 
-#: Default bound on the number of cached per-source BFS results.
+#: ``backend="auto"`` commits to the dict backend when the probe BFS observes
+#: more levels than this.  The level-synchronous CSR BFS pays a fixed ~20
+#: array operations per level, so beyond a few dozen levels (paths, grids,
+#: meshes — the probe's eccentricity is at least half the diameter) the
+#: per-edge dict BFS wins despite its interpreter overhead.
+CSR_AUTO_LEVEL_THRESHOLD = 32
+
+#: Default bound on the number of cached per-source BFS results (the ceiling
+#: the ``"auto"`` byte-aware sizing starts from).
 DEFAULT_BFS_CACHE_SIZE = 2048
 
-_BFSResult = Union[SignedBFSResult, CSRSignedBFSResult]
+# The CSR result type is imported lazily (numpy-free installs never load it).
+_BFSResult = Union[SignedBFSResult, "CSRSignedBFSResult"]  # noqa: F821
 
 
 class _ShortestPathRelation(CompatibilityRelation):
@@ -57,37 +78,106 @@ class _ShortestPathRelation(CompatibilityRelation):
     graph:
         The signed graph the relation is defined over.
     backend:
-        ``"dict"``, ``"csr"`` or ``"auto"`` (pick by graph size).
+        ``"dict"``, ``"csr"`` or ``"auto"`` (size- and diameter-adaptive).
     bfs_cache_size:
-        LRU bound on cached per-source BFS results (``None`` = unbounded).
+        LRU bound on cached per-source BFS results; ``"auto"`` (default)
+        scales :data:`DEFAULT_BFS_CACHE_SIZE` down by graph size so the cache
+        respects a byte budget, an ``int`` is used as-is, ``None`` disables
+        eviction.
     """
 
     def __init__(
         self,
         graph: SignedGraph,
         backend: str = "auto",
-        bfs_cache_size: Optional[int] = DEFAULT_BFS_CACHE_SIZE,
-        compatible_cache_size: Optional[int] = DEFAULT_COMPATIBLE_CACHE_SIZE,
+        bfs_cache_size: CacheSize = "auto",
+        compatible_cache_size: CacheSize = "auto",
     ) -> None:
         super().__init__(graph, compatible_cache_size=compatible_cache_size)
         if backend not in ("auto", "dict", "csr"):
             raise ValueError(
                 f"backend must be 'auto', 'dict' or 'csr', got {backend!r}"
             )
+        if backend == "csr":
+            require_numpy("backend='csr'")
         self._backend = backend
-        self._bfs_cache: LRUCache[Node, _BFSResult] = LRUCache(maxsize=bfs_cache_size)
+        #: Lazily decided by the diameter probe in auto mode (None = undecided).
+        self._auto_prefer_dict: Optional[bool] = None
+        num_nodes = graph.number_of_nodes()
+        self._bfs_cache: LRUCache[Node, _BFSResult] = LRUCache(
+            maxsize=resolve_cache_size(bfs_cache_size, DEFAULT_BFS_CACHE_SIZE, num_nodes),
+            bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
+        )
 
     def _use_csr(self) -> bool:
         if self._backend == "csr":
             return True
         if self._backend == "dict":
             return False
-        return self._graph.number_of_nodes() >= CSR_AUTO_THRESHOLD
+        if self._graph.number_of_nodes() < CSR_AUTO_THRESHOLD:
+            return False
+        if not numpy_available():
+            warn_numpy_missing(f"{self.name} backend='auto'")
+            return False
+        if self._auto_prefer_dict is None:
+            self._probe_diameter()
+        return not self._auto_prefer_dict
+
+    #: Maximum dict-BFS probes ``_probe_diameter`` runs before deciding.
+    _MAX_DIAMETER_PROBES = 4
+
+    def _probe_diameter(self) -> None:
+        """Run a few dict BFS probes and commit auto mode by their level counts.
+
+        A probe's eccentricity is at least half its component's diameter,
+        which cleanly separates the social-network regime (a handful of
+        levels) from the path/grid regime (hundreds).  One probe per
+        *component* (in insertion order, capped) guards against the first
+        node being isolated or sitting in a tiny component that says nothing
+        about the bulk of the graph; probing stops early once any probe
+        crosses the threshold or half the graph is covered.  Probe results
+        land in the BFS cache, so the work is reused if those nodes are ever
+        queried.
+        """
+        levels = 0
+        seen: Set[Node] = set()
+        probes = 0
+        half = self._graph.number_of_nodes() / 2
+        for node in self._graph:
+            if node in seen:
+                continue
+            result = self._bfs_cache.get(node)
+            if result is None:
+                result = signed_bfs(self._graph, node)
+                self._bfs_cache[node] = result
+            if isinstance(result, SignedBFSResult):
+                reached = result.lengths
+                levels = max(levels, max(reached.values(), default=0))
+                seen.update(reached)
+            else:  # a cached CSR result (backend switched mid-life)
+                import numpy as np
+
+                levels = max(levels, max(0, int(result.lengths_array.max())))
+                csr = result.graph
+                seen.update(
+                    csr.node_at(dense)
+                    for dense in np.flatnonzero(result.lengths_array >= 0)
+                )
+            probes += 1
+            if (
+                levels > CSR_AUTO_LEVEL_THRESHOLD
+                or len(seen) >= half
+                or probes >= self._MAX_DIAMETER_PROBES
+            ):
+                break
+        self._auto_prefer_dict = levels > CSR_AUTO_LEVEL_THRESHOLD
 
     def _bfs(self, source: Node) -> _BFSResult:
         result = self._bfs_cache.get(source)
         if result is None:
             if self._use_csr():
+                from repro.signed.csr import signed_bfs_csr
+
                 try:
                     result = signed_bfs_csr(self._graph.csr_view(), source)
                 except OverflowError:
@@ -99,24 +189,54 @@ class _ShortestPathRelation(CompatibilityRelation):
             self._bfs_cache[source] = result
         return result
 
+    def batch_bfs(self, sources: Sequence[Node]) -> List[_BFSResult]:
+        """One Algorithm-1 result per source, batched on the CSR backend.
+
+        On the CSR backend, uncached sources advance through one lockstep
+        multi-source traversal (:func:`repro.signed.csr.multi_source_signed_bfs`)
+        over the shared index; sources whose counts overflow int64 fall back
+        to the dict backend's arbitrary-precision BFS individually.  Results
+        are held locally for the duration of the call, so a batch larger than
+        the LRU bound is still computed exactly once; they are also written
+        through to the cache for follow-up per-pair queries.  Every result is
+        bit-identical to what :meth:`_bfs` would have produced.
+        """
+        source_list = list(sources)
+        self._require_nodes(*source_list)
+        if not self._use_csr():
+            return [self._bfs(source) for source in source_list]
+
+        def compute_missing(missing: List[Node]) -> List[_BFSResult]:
+            from repro.signed.csr import multi_source_signed_bfs
+
+            csr = self._graph.csr_view()
+            batched = multi_source_signed_bfs(csr, missing, skip_overflow=True)
+            return [
+                # None marks an int64 overflow: that source needs the dict
+                # backend's arbitrary-precision counts.
+                result if result is not None else signed_bfs(self._graph, source)
+                for source, result in zip(missing, batched)
+            ]
+
+        return fetch_batched(self._bfs_cache, source_list, compute_missing)
+
     def _clear_subclass_cache(self) -> None:
         self._bfs_cache.clear()
+        self._auto_prefer_dict = None
 
     def _compute_compatible_set(self, u: Node) -> Set[Node]:
         result = self._bfs(u)
-        if isinstance(result, CSRSignedBFSResult):
-            rule_mask = self._pair_rule_mask(
-                result.positive_array, result.negative_array
-            )
-            return set(result.compatible_nodes(rule_mask))
-        compatible: Set[Node] = set()
-        for node in result.lengths:
-            if node == u:
-                continue
-            positive, negative = result.counts(node)
-            if self._pair_rule(positive, negative):
-                compatible.add(node)
-        return compatible
+        if isinstance(result, SignedBFSResult):
+            compatible: Set[Node] = set()
+            for node in result.lengths:
+                if node == u:
+                    continue
+                positive, negative = result.counts(node)
+                if self._pair_rule(positive, negative):
+                    compatible.add(node)
+            return compatible
+        rule_mask = self._pair_rule_mask(result.positive_array, result.negative_array)
+        return set(result.compatible_nodes(rule_mask))
 
     def are_compatible(self, u: Node, v: Node) -> bool:
         # Use the cached BFS directly instead of materialising the whole
@@ -131,43 +251,54 @@ class _ShortestPathRelation(CompatibilityRelation):
         positive, negative = result.counts(target)
         return self._pair_rule(positive, negative)
 
+    def batch_compatible_sets(self, sources: Sequence[Node]) -> List[FrozenSet[Node]]:
+        """Compatible sets for many sources from one lockstep batched sweep.
+
+        On the CSR backend the uncached sources share one multi-source BFS
+        (:meth:`batch_bfs`) and the pair rule is applied as a vectorised mask;
+        each returned set equals :meth:`compatible_with` exactly and is
+        written into the compatible-set cache.  Results are held locally, so
+        samples larger than the cache bound still cost one batched pass.
+        """
+        source_list = list(sources)
+        self._require_nodes(*source_list)
+        if not self._use_csr():
+            return super().batch_compatible_sets(source_list)
+
+        def compute_missing(missing: List[Node]) -> List[FrozenSet[Node]]:
+            sets: List[FrozenSet[Node]] = []
+            for source, result in zip(missing, self.batch_bfs(missing)):
+                if isinstance(result, SignedBFSResult):
+                    computed = self._compute_compatible_set(source)
+                else:
+                    rule_mask = self._pair_rule_mask(
+                        result.positive_array, result.negative_array
+                    )
+                    computed = set(result.compatible_nodes(rule_mask))
+                computed.add(source)
+                sets.append(frozenset(computed))
+            return sets
+
+        return fetch_batched(self._compatible_cache, source_list, compute_missing)
+
     def batch_compatibility_degrees(self, sources: Sequence[Node]) -> List[int]:
         """Number of *other* compatible nodes for every source, batched.
 
-        On the CSR backend every source runs the vectorised BFS over one
-        shared index with the pair rule applied as a vectorised mask — no
-        per-node Python iteration and no set materialisation.  On the dict
+        On the CSR backend every uncached source shares the lockstep
+        multi-source BFS and the pair rule is applied as a vectorised mask —
+        no per-node Python iteration and no set materialisation.  On the dict
         backend it falls back to the base class's per-source loop.  The counts
         are identical across backends.
         """
-        self._require_nodes(*sources)
+        source_list = list(sources)
+        self._require_nodes(*source_list)
         if not self._use_csr():
-            return super().batch_compatibility_degrees(sources)
-        csr = self._graph.csr_view()
-        # Hold the batch results locally: the LRU is only a write-through side
-        # effect, so a sample larger than bfs_cache_size is still one batched
-        # pass instead of silently recomputing evicted sources one by one.
-        results = {}
-        for source in sources:
-            cached = self._bfs_cache.get(source)
-            if cached is not None and isinstance(cached, CSRSignedBFSResult):
-                results[source] = cached
-        for source in sources:
-            if source in results:
-                continue
-            try:
-                result = signed_bfs_csr(csr, source)
-            except OverflowError:
-                # Cache the dict result now so the fallback below does not
-                # re-run the doomed CSR traversal through _bfs.
-                self._bfs_cache[source] = signed_bfs(self._graph, source)
-                continue
-            results[source] = result
-            self._bfs_cache[source] = result
+            return super().batch_compatibility_degrees(source_list)
         degrees: List[int] = []
-        for source in sources:
-            result = results.get(source)
-            if result is None:
+        for source, result in zip(source_list, self.batch_bfs(source_list)):
+            if isinstance(result, SignedBFSResult):
+                # Overflow (or probe) fallback: count via the set machinery,
+                # which reuses the cached dict BFS.
                 degrees.append(self.compatibility_degree(source))
                 continue
             rule_mask = self._pair_rule_mask(
@@ -181,7 +312,7 @@ class _ShortestPathRelation(CompatibilityRelation):
         raise NotImplementedError
 
     @staticmethod
-    def _pair_rule_mask(positive: np.ndarray, negative: np.ndarray) -> np.ndarray:
+    def _pair_rule_mask(positive, negative):
         """Vectorised counterpart of :meth:`_pair_rule` over count arrays."""
         raise NotImplementedError
 
@@ -196,7 +327,7 @@ class AllShortestPathsCompatibility(_ShortestPathRelation):
         return positive > 0 and negative == 0
 
     @staticmethod
-    def _pair_rule_mask(positive: np.ndarray, negative: np.ndarray) -> np.ndarray:
+    def _pair_rule_mask(positive, negative):
         return (positive > 0) & (negative == 0)
 
 
@@ -210,7 +341,7 @@ class MajorityShortestPathsCompatibility(_ShortestPathRelation):
         return positive > 0 and positive >= negative
 
     @staticmethod
-    def _pair_rule_mask(positive: np.ndarray, negative: np.ndarray) -> np.ndarray:
+    def _pair_rule_mask(positive, negative):
         return (positive > 0) & (positive >= negative)
 
 
@@ -224,5 +355,5 @@ class OneShortestPathCompatibility(_ShortestPathRelation):
         return positive > 0
 
     @staticmethod
-    def _pair_rule_mask(positive: np.ndarray, negative: np.ndarray) -> np.ndarray:
+    def _pair_rule_mask(positive, negative):
         return positive > 0

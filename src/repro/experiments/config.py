@@ -33,8 +33,9 @@ class DatasetConfig:
     compute_exact_sbp: bool = False
     #: Expansion cap for the exact SBP search.
     sbp_max_expansions: int = 200_000
-    #: BFS backend for the SP* relations: "auto" (CSR on large graphs),
-    #: "dict" (reference implementation) or "csr" (always indexed).
+    #: Backend for the SP* relations' BFS and SBPH's heuristic search:
+    #: "auto" (CSR on large low-diameter graphs), "dict" (reference
+    #: implementation) or "csr" (always indexed).
     sp_backend: str = "auto"
 
 

@@ -149,8 +149,8 @@ def _run_batch(
             context.dataset.skills,
             relation_context.relation,
             task,
-            oracle=relation_context.oracle,
             skill_index=relation_context.skill_index,
+            engine=relation_context.engine,
         )
         result: TeamFormationResult = run_algorithm(
             algorithm,

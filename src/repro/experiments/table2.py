@@ -97,8 +97,13 @@ def _evaluate_relation(
     if context.dataset.graph.number_of_nodes() <= dataset_config.max_exact_nodes:
         users_stats = exact_pair_statistics(relation)
     else:
+        # Routed through the relation context's engine so the sampled sweep
+        # shares its batched caches with the rest of the experiment.
         users_stats = source_sampled_pair_statistics(
-            relation, dataset_config.num_sampled_sources, seed=dataset_config.seed
+            relation,
+            dataset_config.num_sampled_sources,
+            seed=dataset_config.seed,
+            engine=relation_context.engine,
         )
 
     skill_index = SkillCompatibilityIndex(

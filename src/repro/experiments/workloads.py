@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.compatibility import (
+    CompatibilityEngine,
     CompatibilityRelation,
     DistanceOracle,
     SkillCompatibilityIndex,
@@ -26,11 +27,18 @@ from repro.utils.rng import ensure_rng
 
 @dataclass
 class RelationContext:
-    """A compatibility relation plus its cached companions."""
+    """A compatibility relation plus its cached companions.
+
+    The engine is the batched query front the experiments hand to every
+    :class:`~repro.teams.problem.TeamFormationProblem` on this (dataset,
+    relation) pair, so candidate filters and distance sweeps share one set of
+    caches across all tasks.
+    """
 
     relation: CompatibilityRelation
     oracle: DistanceOracle
     skill_index: SkillCompatibilityIndex
+    engine: CompatibilityEngine
 
 
 class DatasetContext:
@@ -54,15 +62,17 @@ class DatasetContext:
             kwargs = {}
             if key in ("SBP", "SBPH"):
                 kwargs["max_expansions"] = self.config.sbp_max_expansions
-            if key in ("SPA", "SPM", "SPO"):
+            if key in ("SPA", "SPM", "SPO", "SBPH"):
                 kwargs["backend"] = self.config.sp_backend
             relation = make_relation(key, self.dataset.graph, **kwargs)
+            oracle = DistanceOracle(relation)
             context = RelationContext(
                 relation=relation,
-                oracle=DistanceOracle(relation),
+                oracle=oracle,
                 skill_index=SkillCompatibilityIndex(
                     relation, self.dataset.skills, count_cap=None
                 ),
+                engine=CompatibilityEngine(relation, oracle=oracle),
             )
             self._relations[key] = context
         return context

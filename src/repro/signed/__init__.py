@@ -21,14 +21,28 @@ from repro.signed.paths import (
     shortest_balanced_positive_path,
     BalancedPathSearch,
 )
-from repro.signed.csr import (
-    CSRSignedBFSResult,
-    CSRSignedGraph,
-    multi_source_signed_bfs,
-    shortest_path_lengths_csr,
-    shortest_signed_walk_lengths_csr,
-    signed_bfs_csr,
+# The CSR backend (repro.signed.csr) requires numpy and is imported lazily via
+# __getattr__ below, so `import repro` and the dict backend keep working on
+# numpy-free installs.
+_CSR_EXPORTS = (
+    "CSRSignedBFSResult",
+    "CSRSignedGraph",
+    "CSRLengths",
+    "balanced_heuristic_search_csr",
+    "multi_source_signed_bfs",
+    "multi_source_shortest_path_lengths_csr",
+    "shortest_path_lengths_csr",
+    "shortest_signed_walk_lengths_csr",
+    "signed_bfs_csr",
 )
+
+
+def __getattr__(name):
+    if name in _CSR_EXPORTS:
+        from repro.signed import csr
+
+        return getattr(csr, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.signed.components import connected_components, largest_connected_component, is_connected
 from repro.signed.metrics import (
     GraphStatistics,
@@ -94,10 +108,13 @@ __all__ = [
     "BalancedPathSearch",
     "CSRSignedGraph",
     "CSRSignedBFSResult",
+    "CSRLengths",
+    "balanced_heuristic_search_csr",
     "signed_bfs_csr",
     "shortest_path_lengths_csr",
     "shortest_signed_walk_lengths_csr",
     "multi_source_signed_bfs",
+    "multi_source_shortest_path_lengths_csr",
     "connected_components",
     "largest_connected_component",
     "is_connected",

@@ -89,6 +89,10 @@ class UserSelectionPolicy(abc.ABC):
 
     name: str = "abstract-user-policy"
 
+    #: Whether :meth:`select` issues distance-to-team queries; Algorithm 2
+    #: uses this to decide if seed warming should prefetch distance maps too.
+    uses_team_distances: bool = False
+
     def __init__(self, seed: RandomState = None) -> None:
         self._rng = ensure_rng(seed)
 
@@ -118,6 +122,7 @@ class MinimumDistanceUser(UserSelectionPolicy):
     """
 
     name = "min-distance-user"
+    uses_team_distances = True
 
     def select(
         self,
@@ -132,7 +137,13 @@ class MinimumDistanceUser(UserSelectionPolicy):
                 ordered,
                 key=lambda user: len(problem.assignment.skills_of(user) & problem.task.skills),
             )
-        return min(ordered, key=lambda user: problem.oracle.distance_to_set(user, team))
+        # One batched engine call scores every candidate against the team
+        # (lockstep BFS + array maxima on the CSR backend); the stable argmin
+        # over the deterministic ordering matches the legacy per-candidate
+        # min() exactly.
+        scores = problem.engine.distances_to_team_many(ordered, list(team))
+        best = min(range(len(ordered)), key=scores.__getitem__)
+        return ordered[best]
 
 
 class MostCompatibleUser(UserSelectionPolicy):
@@ -168,17 +179,29 @@ class MostCompatibleUser(UserSelectionPolicy):
             remaining_holders |= problem.candidates_for_skill(skill)
         remaining_holders -= set(team)
 
-        def compatibility_score(user: Node) -> int:
-            pool = remaining_holders - {user}
-            if not pool:
-                return problem.relation.compatibility_degree(user)
-            compatible_set = problem.relation.compatible_with(user)
-            return sum(1 for other in pool if other in compatible_set)
-
         ordered = self._deterministic(candidates)
         if len(ordered) > self.max_candidates:
             ordered = self._rng.sample(ordered, self.max_candidates)
-        return max(ordered, key=compatibility_score)
+        # One batched engine call resolves every scored candidate's compatible
+        # set (lockstep BFS for the SP* family, one shared reverse sweep for
+        # the balanced relations).  Scoring uses the returned list directly —
+        # not cache re-lookups — so the batch survives an LRU bound smaller
+        # than the candidate list (the byte-aware "auto" sizing on huge
+        # graphs).  Each set contains the candidate itself, so the pool-empty
+        # score len(set) - 1 equals the legacy compatibility_degree.
+        compatible_sets = problem.engine.compatible_sets(ordered)
+
+        def compatibility_score(position: int) -> int:
+            user = ordered[position]
+            compatible_set = compatible_sets[position]
+            pool = remaining_holders - {user}
+            if not pool:
+                return len(compatible_set) - 1
+            return sum(1 for other in pool if other in compatible_set)
+
+        # max() over positions keeps the legacy first-maximum tie-break.
+        best = max(range(len(ordered)), key=compatibility_score)
+        return ordered[best]
 
 
 class RandomUser(UserSelectionPolicy):

@@ -14,6 +14,7 @@ from typing import FrozenSet, Hashable, Iterable, Optional
 
 from repro.compatibility.base import CompatibilityRelation
 from repro.compatibility.distance import DistanceOracle
+from repro.compatibility.engine import CompatibilityEngine
 from repro.compatibility.skill_compat import SkillCompatibilityIndex
 from repro.exceptions import InfeasibleTaskError
 from repro.signed.graph import Node, SignedGraph
@@ -41,6 +42,12 @@ class TeamFormationProblem:
     skill_index:
         Optional pre-built :class:`SkillCompatibilityIndex` used by the
         "least compatible skill" policy; built lazily when needed.
+    engine:
+        Optional pre-built :class:`CompatibilityEngine`; built from
+        ``relation`` and the oracle when omitted.  All one-to-many queries of
+        the team-formation algorithms (candidate filtering, distance-to-team
+        scoring, seed warming) go through it, so sharing an engine across
+        problems on the same graph shares the batched caches too.
     """
 
     def __init__(
@@ -51,6 +58,7 @@ class TeamFormationProblem:
         task: Task,
         oracle: Optional[DistanceOracle] = None,
         skill_index: Optional[SkillCompatibilityIndex] = None,
+        engine: Optional[CompatibilityEngine] = None,
     ) -> None:
         if relation.graph is not graph:
             raise ValueError("the relation must be defined over the problem's graph")
@@ -63,7 +71,19 @@ class TeamFormationProblem:
         self.assignment = assignment
         self.relation = relation
         self.task = task
-        self.oracle = oracle if oracle is not None else DistanceOracle(relation)
+        if engine is not None:
+            if engine.relation is not relation:
+                raise ValueError("the engine must be built on the problem's relation")
+            if oracle is not None and engine.oracle is not oracle:
+                raise ValueError(
+                    "engine and oracle disagree; pass one or build the engine "
+                    "on the given oracle"
+                )
+            self.engine = engine
+            self.oracle = engine.oracle
+        else:
+            self.oracle = oracle if oracle is not None else DistanceOracle(relation)
+            self.engine = CompatibilityEngine(relation, oracle=self.oracle)
         self._skill_index = skill_index
 
     @property
@@ -84,17 +104,15 @@ class TeamFormationProblem:
     def compatible_candidates(
         self, skill: Hashable, team: Iterable[Node]
     ) -> FrozenSet[Node]:
-        """Users with ``skill`` that are compatible with every current team member."""
-        team_list = list(team)
-        candidates = set()
-        for user in self.candidates_for_skill(skill):
-            if user in team_list:
-                continue
-            # Query with the team member first: the relations cache their
-            # per-source computation, and the members recur across candidates.
-            if all(self.relation.are_compatible(member, user) for member in team_list):
-                candidates.add(user)
-        return frozenset(candidates)
+        """Users with ``skill`` that are compatible with every current team member.
+
+        Answered by the engine's one-to-many filter
+        (:meth:`~repro.compatibility.engine.CompatibilityEngine.compatible_from_many`),
+        which batches the team's per-source computations and applies the pair
+        rule vectorised on the CSR backend; the result is identical to the
+        per-pair ``are_compatible`` loop it replaces.
+        """
+        return self.engine.compatible_from_many(self.candidates_for_skill(skill), list(team))
 
     def __repr__(self) -> str:
         return (

@@ -1,6 +1,13 @@
 """Small shared utilities: RNG handling, validation helpers, text tables, timing."""
 
-from repro.utils.lru import LRUCache
+from repro.utils.lru import (
+    APPROX_BYTES_PER_NODE,
+    DEFAULT_CACHE_BUDGET_BYTES,
+    LRUCache,
+    fetch_batched,
+    scaled_cache_size,
+)
+from repro.utils.optional import numpy_available, require_numpy, warn_numpy_missing
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.tables import format_table, format_percentage
 from repro.utils.timing import Timer
@@ -13,6 +20,13 @@ from repro.utils.validation import (
 
 __all__ = [
     "LRUCache",
+    "fetch_batched",
+    "scaled_cache_size",
+    "APPROX_BYTES_PER_NODE",
+    "DEFAULT_CACHE_BUDGET_BYTES",
+    "numpy_available",
+    "require_numpy",
+    "warn_numpy_missing",
     "ensure_rng",
     "spawn_rngs",
     "format_table",

@@ -9,6 +9,14 @@ workloads (where every source fits) entirely unaffected.
 
 ``maxsize=None`` disables eviction, which callers can use to restore the old
 unbounded behaviour.
+
+Because every cached entry is O(n) in the graph size, a fixed *entry* bound is
+only half the story: 4096 entries of a million-node graph is hundreds of
+gigabytes.  :func:`scaled_cache_size` turns a byte budget into an entry bound
+for a given per-entry size, and the relations use it (via their ``"auto"``
+cache-size default) so the default bounds shrink automatically on huge graphs.
+:attr:`LRUCache.approx_bytes` exposes the resulting byte estimate for
+introspection and tests.
 """
 
 from __future__ import annotations
@@ -20,6 +28,72 @@ K = TypeVar("K")
 V = TypeVar("V")
 
 _MISSING = object()
+
+#: Default memory budget (bytes) a single per-source cache may grow to under
+#: the ``"auto"`` sizing policy.  256 MiB per cache keeps a handful of caches
+#: (BFS results, compatible sets, distance maps) within a few GiB total.
+DEFAULT_CACHE_BUDGET_BYTES = 256 * 1024 * 1024
+
+#: Rough per-node cost (bytes) of one cached per-source entry.  Dict-backed
+#: results pay ~90 bytes per reachable node (dict slots + boxed ints), CSR
+#: results ~20 (three numpy scalars); 64 is a deliberate middle ground — this
+#: is an order-of-magnitude guard against OOM, not an accounting system.
+APPROX_BYTES_PER_NODE = 64
+
+#: Smallest entry bound ``scaled_cache_size`` will return: even on graphs so
+#: large that a single entry busts the budget, a few entries must stay cached
+#: or the per-pair query paths degrade to recomputing every source.
+MIN_SCALED_CACHE_ENTRIES = 4
+
+
+def fetch_batched(cache, keys, compute_missing):
+    """Batched read-through against an :class:`LRUCache`.
+
+    Probes ``cache`` for every key, computes the misses with **one**
+    ``compute_missing(missing_keys) -> values`` call (deduplicated, input
+    order preserved), writes them through, and returns the values aligned
+    with ``keys``.  Results are held locally for the duration of the call, so
+    a batch larger than the cache bound is still computed exactly once even
+    though the write-through may evict earlier entries.
+
+    This is the single implementation of the probe → dedup → batch-compute →
+    write-through pattern shared by the relations' ``batch_bfs`` /
+    ``batch_compatible_sets`` and the distance oracle's ``warm``.
+    """
+    found = {}
+    for key in keys:
+        value = cache.get(key)
+        if value is not None:
+            found[key] = value
+    missing = [key for key in dict.fromkeys(keys) if key not in found]
+    if missing:
+        for key, value in zip(missing, compute_missing(missing)):
+            found[key] = value
+            cache[key] = value
+    return [found[key] for key in keys]
+
+
+def scaled_cache_size(
+    ceiling: Optional[int],
+    num_nodes: int,
+    bytes_per_node: int = APPROX_BYTES_PER_NODE,
+    budget_bytes: int = DEFAULT_CACHE_BUDGET_BYTES,
+    minimum: int = MIN_SCALED_CACHE_ENTRIES,
+) -> Optional[int]:
+    """Entry bound for a per-source cache whose entries are O(``num_nodes``).
+
+    Returns ``min(ceiling, budget_bytes // entry_bytes)`` clamped below by
+    ``minimum``, where ``entry_bytes = num_nodes * bytes_per_node``.  On small
+    graphs this is simply ``ceiling`` (the historical defaults); on
+    million-node graphs it shrinks so the cache cannot exceed the byte budget
+    by more than ``minimum`` entries.  ``ceiling=None`` (unbounded) is
+    returned unchanged — an explicit opt-out stays an opt-out.
+    """
+    if ceiling is None:
+        return None
+    entry_bytes = max(1, num_nodes) * max(1, bytes_per_node)
+    fitting = budget_bytes // entry_bytes
+    return max(minimum, min(ceiling, fitting))
 
 
 class LRUCache(Generic[K, V]):
@@ -40,10 +114,19 @@ class LRUCache(Generic[K, V]):
     ['a', 'c']
     """
 
-    def __init__(self, maxsize: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        maxsize: Optional[int] = None,
+        bytes_per_entry: Optional[int] = None,
+    ) -> None:
         if maxsize is not None and maxsize <= 0:
             raise ValueError(f"maxsize must be positive or None, got {maxsize}")
+        if bytes_per_entry is not None and bytes_per_entry < 0:
+            raise ValueError(
+                f"bytes_per_entry must be non-negative or None, got {bytes_per_entry}"
+            )
         self._maxsize = maxsize
+        self._bytes_per_entry = bytes_per_entry
         self._data: "OrderedDict[K, V]" = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -53,6 +136,23 @@ class LRUCache(Generic[K, V]):
     def maxsize(self) -> Optional[int]:
         """The capacity bound (``None`` means unbounded)."""
         return self._maxsize
+
+    @property
+    def bytes_per_entry(self) -> Optional[int]:
+        """Estimated size of one entry (``None`` when the owner gave no hint)."""
+        return self._bytes_per_entry
+
+    @property
+    def approx_bytes(self) -> Optional[int]:
+        """Estimated memory held by the cache (``None`` without a size hint).
+
+        The estimate is ``len(cache) * bytes_per_entry`` using the hint the
+        owning relation supplied (typically ``num_nodes * bytes_per_node``);
+        it tracks occupancy, not the true interned object sizes.
+        """
+        if self._bytes_per_entry is None:
+            return None
+        return len(self._data) * self._bytes_per_entry
 
     @property
     def hits(self) -> int:
@@ -105,7 +205,10 @@ class LRUCache(Generic[K, V]):
         self._data.clear()
 
     def __repr__(self) -> str:
+        approx = self.approx_bytes
+        bytes_part = f", approx_bytes={approx}" if approx is not None else ""
         return (
             f"LRUCache(len={len(self._data)}, maxsize={self._maxsize}, "
-            f"hits={self._hits}, misses={self._misses}, evictions={self._evictions})"
+            f"hits={self._hits}, misses={self._misses}, evictions={self._evictions}"
+            f"{bytes_part})"
         )

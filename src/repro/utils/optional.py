@@ -1,0 +1,51 @@
+"""Optional-dependency probes.
+
+The indexed CSR backend (:mod:`repro.signed.csr`) needs numpy; everything else
+in the library runs on the pure-Python dict backend.  These helpers let the
+backend-selection code degrade gracefully on numpy-free installs: ``"auto"``
+falls back to the dict backend with a one-time warning, while an explicit
+``backend="csr"`` raises a clear :class:`ImportError` at construction time.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+_NUMPY_AVAILABLE: Optional[bool] = None
+_WARNED_CONTEXTS: set = set()
+
+
+def numpy_available() -> bool:
+    """True iff numpy can be imported (probed once, then cached)."""
+    global _NUMPY_AVAILABLE
+    if _NUMPY_AVAILABLE is None:
+        try:
+            import numpy  # noqa: F401
+
+            _NUMPY_AVAILABLE = True
+        except ImportError:
+            _NUMPY_AVAILABLE = False
+    return _NUMPY_AVAILABLE
+
+
+def require_numpy(feature: str) -> None:
+    """Raise a descriptive :class:`ImportError` when numpy is missing."""
+    if not numpy_available():
+        raise ImportError(
+            f"{feature} requires numpy, which is not installed; install numpy "
+            "or use backend='dict' (the pure-Python backend)"
+        )
+
+
+def warn_numpy_missing(context: str) -> None:
+    """Warn (once per context) that a CSR fast path degraded to the dict backend."""
+    if context in _WARNED_CONTEXTS:
+        return
+    _WARNED_CONTEXTS.add(context)
+    warnings.warn(
+        f"numpy is not installed; {context} falls back to the pure-Python "
+        "dict backend (install numpy for the vectorised CSR backend)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
