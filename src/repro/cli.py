@@ -6,7 +6,9 @@ Installed as ``repro-teams`` (see ``pyproject.toml``); also runnable as
 * ``datasets`` — list the available datasets and their Table-1 statistics;
 * ``compatibility`` — print the compatibility statistics of one dataset;
 * ``team`` — form a team for a task given as a comma-separated skill list;
-* ``reproduce`` — run the full experiment suite (all tables and figures).
+* ``reproduce`` — run the full experiment suite (all tables and figures);
+* ``streaming`` — run the dynamic-graph workload: edge churn interleaved with
+  team-formation queries over the generation-keyed caches.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ from repro.compatibility import (
     pair_statistics,
 )
 from repro.datasets import available, dataset_statistics, load_dataset
-from repro.experiments import default_config, fast_config, run_all
+from repro.experiments import StreamingConfig, default_config, fast_config, run_all, run_streaming
 from repro.skills import Task
 from repro.teams import ALGORITHM_NAMES, TeamFormationProblem, run_algorithm
 from repro.utils.tables import format_table
@@ -63,6 +65,31 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce_parser = subparsers.add_parser("reproduce", help="run all tables and figures")
     reproduce_parser.add_argument(
         "--fast", action="store_true", help="use the miniature configuration"
+    )
+
+    streaming_parser = subparsers.add_parser(
+        "streaming", help="edge churn interleaved with team-formation queries"
+    )
+    streaming_parser.add_argument("dataset", choices=sorted(available()))
+    streaming_parser.add_argument("--relation", default="SPO", help=f"one of {list(RELATION_NAMES)}")
+    streaming_parser.add_argument(
+        "--algorithms",
+        default="LCMD,LCMC,RFMD,RFMC",
+        help="comma-separated algorithm names run each round",
+    )
+    streaming_parser.add_argument("--rounds", type=int, default=8, help="churn+query rounds")
+    streaming_parser.add_argument(
+        "--churn", type=int, default=40, help="edge events applied per round"
+    )
+    streaming_parser.add_argument(
+        "--tasks", type=int, default=2, help="team-formation queries per round"
+    )
+    streaming_parser.add_argument("--task-size", type=int, default=3, help="skills per task")
+    streaming_parser.add_argument("--seed", type=int, default=2020, help="workload seed")
+    streaming_parser.add_argument("--dataset-seed", type=int, default=None)
+    streaming_parser.add_argument("--scale", type=float, default=None)
+    streaming_parser.add_argument(
+        "--backend", default="auto", choices=("auto", "dict", "csr")
     )
     return parser
 
@@ -127,6 +154,31 @@ def _command_reproduce(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_streaming(arguments: argparse.Namespace) -> int:
+    algorithms = tuple(
+        name.strip().upper() for name in arguments.algorithms.split(",") if name.strip()
+    )
+    if not algorithms:
+        print("error: at least one algorithm is required", file=sys.stderr)
+        return 2
+    config = StreamingConfig(
+        dataset=arguments.dataset,
+        dataset_seed=arguments.dataset_seed,
+        scale=arguments.scale,
+        relation=arguments.relation.upper(),
+        backend=arguments.backend,
+        algorithms=algorithms,
+        num_rounds=arguments.rounds,
+        churn_per_round=arguments.churn,
+        tasks_per_round=arguments.tasks,
+        task_size=arguments.task_size,
+        seed=arguments.seed,
+    )
+    report = run_streaming(config, verbose=True)
+    print(report.as_text())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -136,6 +188,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compatibility": _command_compatibility,
         "team": _command_team,
         "reproduce": _command_reproduce,
+        "streaming": _command_streaming,
     }
     return handlers[arguments.command](arguments)
 

@@ -53,7 +53,8 @@ from repro.signed.paths import (
     BalancedPathSearch,
     shortest_signed_walk_lengths,
 )
-from repro.utils.lru import APPROX_BYTES_PER_NODE, LRUCache
+from repro.utils.generational import GenerationalLRUCache
+from repro.utils.lru import APPROX_BYTES_PER_NODE
 from repro.utils.optional import numpy_available, require_numpy, warn_numpy_missing
 
 #: Default bound on the number of cached per-source balanced-path results.
@@ -94,17 +95,40 @@ class _BalancedPathRelation(CompatibilityRelation):
             graph, max_length=max_path_length, max_expansions=max_expansions
         )
         num_nodes = graph.number_of_nodes()
-        self._result_cache: LRUCache[Node, BalancedPathResult] = LRUCache(
-            maxsize=resolve_cache_size(
-                result_cache_size, DEFAULT_RESULT_CACHE_SIZE, num_nodes
-            ),
-            bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
-        )
         # Truncation must survive cache eviction: remember *which* sources hit
         # the expansion cap in a small persistent set of node ids, not via the
-        # evictable results themselves.
+        # evictable results themselves.  The set is generation-pruned on its
+        # own (``_prune_truncated``) because flags deliberately outlive cache
+        # entries: a mutation in a flagged source's component drops the flag
+        # (its re-search may no longer truncate) even when the result itself
+        # was evicted long ago.
         self._truncated_sources: Set[Node] = set()
+        self._truncated_generation = graph.generation
+        # Generation-keyed: a mutation drops only the search results whose
+        # component it touched (balanced paths never leave a component).
+        self._result_cache: GenerationalLRUCache[Node, BalancedPathResult] = (
+            GenerationalLRUCache(
+                graph,
+                maxsize=resolve_cache_size(
+                    result_cache_size, DEFAULT_RESULT_CACHE_SIZE, num_nodes
+                ),
+                bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
+            )
+        )
         self.max_path_length = max_path_length
+
+    def _prune_truncated(self) -> None:
+        """Drop truncation flags whose source's component a mutation touched."""
+        generation = self._graph.generation
+        if generation == self._truncated_generation:
+            return
+        if self._truncated_sources:
+            affected = self._graph.affected_nodes_since(self._truncated_generation)
+            if affected is None:
+                self._truncated_sources.clear()
+            else:
+                self._truncated_sources -= affected
+        self._truncated_generation = generation
 
     def _use_csr_search(self) -> bool:
         """Whether the heuristic search should run on the CSR backend.
@@ -128,6 +152,7 @@ class _BalancedPathRelation(CompatibilityRelation):
         return True
 
     def _search_from(self, source: Node) -> BalancedPathResult:
+        self._prune_truncated()
         result = self._result_cache.get(source)
         if result is None:
             if self.exact_search:
@@ -144,6 +169,11 @@ class _BalancedPathRelation(CompatibilityRelation):
     def _clear_subclass_cache(self) -> None:
         self._result_cache.clear()
         self._truncated_sources.clear()
+        self._truncated_generation = self._graph.generation
+
+    def _sync_subclass_caches(self) -> None:
+        self._result_cache.sync()
+        self._prune_truncated()
 
     def _found_positive(self, source: Node, target: Node) -> bool:
         """Directional check: does the search *from* ``source`` reach ``target``?"""
@@ -288,6 +318,7 @@ class StructurallyBalancedPathCompatibility(_BalancedPathRelation):
         Tracked independently of the (bounded, evictable) result cache, so the
         report stays complete even after a sweep larger than the cache.
         """
+        self._prune_truncated()
         return set(self._truncated_sources)
 
 

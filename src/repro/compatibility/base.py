@@ -26,7 +26,8 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 
 from repro.exceptions import NodeNotFoundError
 from repro.signed.graph import NEGATIVE, POSITIVE, Node, SignedGraph
-from repro.utils.lru import APPROX_BYTES_PER_NODE, LRUCache, scaled_cache_size
+from repro.utils.generational import GenerationalLRUCache
+from repro.utils.lru import APPROX_BYTES_PER_NODE, scaled_cache_size
 
 #: Default bound on the number of cached per-source compatible sets (the
 #: ceiling the byte-aware ``"auto"`` sizing starts from).
@@ -70,6 +71,12 @@ class CompatibilityRelation(abc.ABC):
     #: Short name used in the paper's tables (e.g. ``"SPA"``); set by subclasses.
     name: str = "ABSTRACT"
 
+    #: Whether a source's compatible set depends only on its connected
+    #: component (true for every path-based relation).  Relations with global
+    #: dependence (NNE's complement-style sets) override this so the
+    #: generation-keyed caches invalidate wholesale on node-set changes.
+    component_local_sets: bool = True
+
     def __init__(
         self,
         graph: SignedGraph,
@@ -77,11 +84,18 @@ class CompatibilityRelation(abc.ABC):
     ) -> None:
         self._graph = graph
         num_nodes = graph.number_of_nodes()
-        self._compatible_cache: LRUCache[Node, FrozenSet[Node]] = LRUCache(
-            maxsize=resolve_cache_size(
-                compatible_cache_size, DEFAULT_COMPATIBLE_CACHE_SIZE, num_nodes
-            ),
-            bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
+        # Generation-keyed: entries auto-expire when a mutation touches their
+        # source's connected component, so mutating the graph never requires a
+        # manual clear_cache() and never wipes unaffected components.
+        self._compatible_cache: GenerationalLRUCache[Node, FrozenSet[Node]] = (
+            GenerationalLRUCache(
+                graph,
+                maxsize=resolve_cache_size(
+                    compatible_cache_size, DEFAULT_COMPATIBLE_CACHE_SIZE, num_nodes
+                ),
+                bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
+                component_local=type(self).component_local_sets,
+            )
         )
 
     @property
@@ -153,9 +167,26 @@ class CompatibilityRelation(abc.ABC):
         return [len(found) - 1 for found in self.batch_compatible_sets(sources)]
 
     def clear_cache(self) -> None:
-        """Drop all cached per-source computations (call after mutating the graph)."""
+        """Drop all cached per-source computations.
+
+        Not required after graph mutations — the caches are generation-keyed
+        and expire stale entries by themselves (targeted by connected
+        component).  This remains the full reset for memory pressure or
+        tests.
+        """
         self._compatible_cache.clear()
         self._clear_subclass_cache()
+
+    def sync_caches(self) -> None:
+        """Eagerly re-key every generational cache to the current generation.
+
+        Purely a latency optimisation: the caches sync lazily on their next
+        access anyway.  Callers that know a mutation batch just ended (e.g.
+        :meth:`~repro.compatibility.engine.CompatibilityEngine.refresh`) use
+        this to take the invalidation sweep out of the next query.
+        """
+        self._compatible_cache.sync()
+        self._sync_subclass_caches()
 
     # ----------------------------------------------------- property validation
 
@@ -190,6 +221,9 @@ class CompatibilityRelation(abc.ABC):
 
     def _clear_subclass_cache(self) -> None:
         """Hook for subclasses that keep extra caches."""
+
+    def _sync_subclass_caches(self) -> None:
+        """Hook mirroring :meth:`_clear_subclass_cache` for eager generation sync."""
 
     # ---------------------------------------------------------------- helpers
 

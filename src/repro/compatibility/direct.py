@@ -31,6 +31,10 @@ class NoNegativeEdgeCompatibility(CompatibilityRelation):
     """NNE: ``(u, v)`` compatible iff there is no edge ``(u, v, -1)``."""
 
     name = "NNE"
+    # A compatible set is "everyone but my enemies": adding or removing *any*
+    # node changes every set, so component-conservative cache invalidation is
+    # unsound and the generational caches clear wholesale on node-set changes.
+    component_local_sets = False
 
     def _compute_compatible_set(self, u: Node) -> Set[Node]:
         enemies = set(self._graph.negative_neighbors(u))

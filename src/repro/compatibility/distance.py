@@ -25,7 +25,8 @@ from repro.compatibility.base import CacheSize, CompatibilityRelation, resolve_c
 from repro.compatibility.shortest_path import CSR_AUTO_THRESHOLD, _ShortestPathRelation
 from repro.signed.graph import Node, SignedGraph
 from repro.signed.paths import INFINITY, shortest_path_lengths
-from repro.utils.lru import APPROX_BYTES_PER_NODE, LRUCache, fetch_batched
+from repro.utils.generational import GenerationalLRUCache
+from repro.utils.lru import APPROX_BYTES_PER_NODE, fetch_batched
 from repro.utils.optional import numpy_available
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import require_positive
@@ -58,7 +59,10 @@ class DistanceOracle:
         self._relation = relation
         self._graph = relation.graph
         num_nodes = self._graph.number_of_nodes()
-        self._bfs_cache: LRUCache[Node, object] = LRUCache(
+        # Generation-keyed like the relations' caches: distance maps are
+        # per-source BFS results, so mutations invalidate by component.
+        self._bfs_cache: GenerationalLRUCache[Node, object] = GenerationalLRUCache(
+            self._graph,
             maxsize=resolve_cache_size(cache_size, DEFAULT_DISTANCE_CACHE_SIZE, num_nodes),
             bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
         )
@@ -182,9 +186,12 @@ class DistanceOracle:
             # switch): the per-candidate loop handles every map type.
             return [self.distance_to_set(c, team_list) for c in candidate_list]
         csr = maps[0]._graph
-        if not all(view._graph is csr for view in maps):
-            # Maps from different CSR snapshots: dense ids are not comparable,
-            # let the per-candidate loop resolve each map through its own view.
+        if not all(view._graph.shares_index_with(csr) for view in maps):
+            # Maps from incompatible CSR snapshots (the node set changed):
+            # dense ids are not comparable, let the per-candidate loop resolve
+            # each map through its own view.  Snapshots produced by delta
+            # maintenance of an unchanged node set share their index, so maps
+            # that survived targeted invalidation stay on the batched path.
             return [self.distance_to_set(c, team_list) for c in candidate_list]
         dense = [csr._index.get(c) for c in candidate_list]
         if any(position is None for position in dense):
@@ -200,8 +207,20 @@ class DistanceOracle:
             np.maximum(best, values, out=best)
         return [float(value) for value in best]
 
+    def sync(self) -> None:
+        """Eagerly re-key the distance-map cache to the current generation.
+
+        Optional — the cache syncs lazily on its next access; see
+        :meth:`CompatibilityRelation.sync_caches`.
+        """
+        self._bfs_cache.sync()
+
     def clear_cache(self) -> None:
-        """Drop all cached distance maps (call after mutating the graph)."""
+        """Drop all cached distance maps.
+
+        Not required after graph mutations (the cache is generation-keyed);
+        kept as the full reset for memory pressure or tests.
+        """
         self._bfs_cache.clear()
 
     def _use_csr(self) -> bool:

@@ -35,13 +35,20 @@ no batched strategy applies.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Sequence
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.compatibility.base import CompatibilityRelation
+from repro.compatibility.base import CacheSize, CompatibilityRelation
 from repro.compatibility.distance import DistanceOracle
 from repro.compatibility.shortest_path import _ShortestPathRelation
 from repro.signed.graph import Node, SignedGraph
 from repro.signed.paths import SignedBFSResult
+from repro.utils.generational import GenerationalLRUCache
+from repro.utils.lru import scaled_cache_size
+from repro.utils.optional import numpy_available
+
+#: Default bound on the number of memoised per-member rule masks (each mask
+#: is one byte per node, so the ``"auto"`` sizing rarely shrinks it).
+DEFAULT_MASK_CACHE_SIZE = 4096
 
 
 class CompatibilityEngine:
@@ -58,6 +65,13 @@ class CompatibilityEngine:
         When false, every query runs the legacy per-pair code path.  This is
         the reference mode the equivalence tests compare against; production
         callers leave it on.
+    mask_cache_size:
+        Bound on the engine-level rule-mask memo: for SP* relations on the
+        CSR backend, :meth:`compatible_from_many` memoises one boolean mask
+        per ``(team member, graph generation)``, so Algorithm 2's repeated
+        filters against the same team skip both the BFS lookup and the mask
+        recomputation.  ``"auto"`` (default) scales by graph size, an ``int``
+        is used as-is, ``None`` disables eviction.
     """
 
     def __init__(
@@ -65,12 +79,35 @@ class CompatibilityEngine:
         relation: CompatibilityRelation,
         oracle: Optional[DistanceOracle] = None,
         batched: bool = True,
+        mask_cache_size: CacheSize = "auto",
     ) -> None:
         self._relation = relation
         self._oracle = oracle if oracle is not None else DistanceOracle(relation)
         if self._oracle.relation is not relation:
             raise ValueError("the oracle must be built on the engine's relation")
         self._batched = batched
+        num_nodes = relation.graph.number_of_nodes()
+        if isinstance(mask_cache_size, str):
+            if mask_cache_size != "auto":
+                raise ValueError(
+                    f"mask_cache_size must be an int, None or 'auto', got {mask_cache_size!r}"
+                )
+            resolved = scaled_cache_size(
+                DEFAULT_MASK_CACHE_SIZE, num_nodes, bytes_per_node=1
+            )
+        else:
+            resolved = mask_cache_size
+        # member -> (node-list identity of the snapshot, mask array).  The
+        # generational wrapper drops entries whose member's component a
+        # mutation touched; the identity tag guards against dense-id drift
+        # when the node set changes (new snapshots then carry a new list).
+        self._mask_cache: GenerationalLRUCache[Node, Tuple[object, object]] = (
+            GenerationalLRUCache(
+                relation.graph,
+                maxsize=resolved,
+                bytes_per_entry=max(1, num_nodes),
+            )
+        )
 
     # ------------------------------------------------------------- properties
 
@@ -188,16 +225,53 @@ class CompatibilityEngine:
             if all(relation.are_compatible(member, candidate) for member in team_list)
         )
 
-    def _compatible_from_many_csr(
-        self, survivors: Sequence[Node], team: Sequence[Node]
-    ) -> FrozenSet[Node]:
-        """Vectorised team filter: one batched BFS, one mask per member."""
-        import numpy as np
+    def _member_rule_masks(self, team: Sequence[Node], csr) -> List[tuple]:
+        """One memoised ``(mask, fallback_result)`` per team member, aligned
+        with ``team``.
 
+        A mask is the member's vectorised pair rule AND reachability over the
+        snapshot's dense ids — the entire per-member contribution to a team
+        filter.  Masks live in the engine's ``(member, generation)`` memo;
+        misses are resolved with one batched BFS over exactly the missing
+        members.  A slot of ``(None, result)`` marks a member whose BFS
+        result cannot be indexed against ``csr`` (dict fallback, or a
+        surviving result from a snapshot with a different node set): the
+        caller runs the per-pair path on that very result rather than
+        re-fetching it (the BFS LRU can be smaller than the team).
+        """
         from repro.signed.csr import UNREACHABLE
 
         relation = self._relation
-        results = relation.batch_bfs(team)
+        nodes_tag = csr._nodes
+        masks: dict = {}
+        missing: List[Node] = []
+        for member in dict.fromkeys(team):
+            entry = self._mask_cache.get(member)
+            if entry is not None and entry[0] is nodes_tag:
+                masks[member] = (entry[1], None)
+            else:
+                missing.append(member)
+        if missing:
+            for member, result in zip(missing, relation.batch_bfs(missing)):
+                if isinstance(result, SignedBFSResult) or not result.graph.shares_index_with(csr):
+                    masks[member] = (None, result)
+                    continue
+                mask = relation._pair_rule_mask(
+                    result.positive_array, result.negative_array
+                ) & (result.lengths_array != UNREACHABLE)
+                self._mask_cache[member] = (nodes_tag, mask)
+                masks[member] = (mask, None)
+        return [masks[member] for member in team]
+
+    def _compatible_from_many_csr(
+        self, survivors: Sequence[Node], team: Sequence[Node]
+    ) -> FrozenSet[Node]:
+        """Vectorised team filter: memoised per-member rule masks, indexed at
+        the candidates (one batched BFS only for members without a valid memo
+        entry)."""
+        import numpy as np
+
+        relation = self._relation
         csr = self.graph.csr_view()
         index = csr._index
         try:
@@ -211,16 +285,22 @@ class CompatibilityEngine:
 
             raise NodeNotFoundError(missing.args[0]) from None
         keep = np.ones(len(survivors), dtype=bool)
-        for member, result in zip(team, results):
-            # The vectorised mask requires the member's arrays to be indexed
-            # by the *current* snapshot's dense ids; dict results (overflow or
-            # probe fallback) and results cached against an older snapshot
-            # (graph mutated without clear_cache) go through the per-pair
-            # checks instead, which resolve nodes via the result's own index —
-            # exactly the legacy are_compatible semantics.
-            if isinstance(result, SignedBFSResult) or result.graph is not csr:
+        for member, (mask, result) in zip(team, self._member_rule_masks(team, csr)):
+            if mask is None:
+                # Dict results (overflow or probe fallback) and results from
+                # an incompatible snapshot go through the per-pair checks,
+                # which resolve nodes via the result's own index — exactly
+                # the legacy are_compatible semantics.
                 for position, candidate in enumerate(survivors):
                     if not keep[position]:
+                        continue
+                    if (
+                        not isinstance(result, SignedBFSResult)
+                        and candidate not in result.graph
+                    ):
+                        # Candidate newer than the surviving snapshot: not in
+                        # the member's (untouched) component, so unreachable.
+                        keep[position] = False
                         continue
                     if not result.reachable(candidate):
                         keep[position] = False
@@ -229,9 +309,6 @@ class CompatibilityEngine:
                     if not relation._pair_rule(positive, negative):
                         keep[position] = False
                 continue
-            mask = relation._pair_rule_mask(
-                result.positive_array, result.negative_array
-            ) & (result.lengths_array != UNREACHABLE)
             keep &= mask[ids]
             if not keep.any():
                 break
@@ -260,10 +337,32 @@ class CompatibilityEngine:
             ]
         return self._oracle.batch_distance_to_set(candidate_list, team)
 
+    def refresh(self) -> None:
+        """Eagerly resync the engine with a mutated graph.
+
+        Every cache the engine touches is generation-keyed and resyncs
+        lazily, so calling this is never required for correctness.  It exists
+        to move the (possibly delta-applied) CSR snapshot rebuild and the
+        targeted cache invalidation out of the next query's latency — the
+        natural point in a streaming workload is right after an update batch,
+        before queries resume.
+        """
+        if numpy_available() and self.graph._csr_cache is not None:
+            self.graph.csr_view()
+        self._mask_cache.sync()
+        self._relation.sync_caches()
+        self._oracle.sync()
+
     def clear_caches(self) -> None:
-        """Drop the relation's and the oracle's caches (call after mutating the graph)."""
+        """Drop the relation's, the oracle's and the engine's own caches.
+
+        With generation-keyed caches this is no longer required after graph
+        mutations (stale entries expire by themselves); it remains the full
+        reset for tests and memory pressure.
+        """
         self._relation.clear_cache()
         self._oracle.clear_cache()
+        self._mask_cache.clear()
 
     def __repr__(self) -> str:
         return (

@@ -49,7 +49,8 @@ from repro.compatibility.base import (
 )
 from repro.signed.graph import Node, SignedGraph
 from repro.signed.paths import SignedBFSResult, signed_bfs
-from repro.utils.lru import APPROX_BYTES_PER_NODE, LRUCache, fetch_batched
+from repro.utils.generational import GenerationalLRUCache
+from repro.utils.lru import APPROX_BYTES_PER_NODE, fetch_batched
 from repro.utils.optional import numpy_available, require_numpy, warn_numpy_missing
 
 #: ``backend="auto"`` considers the CSR BFS from this graph size upward.
@@ -104,7 +105,12 @@ class _ShortestPathRelation(CompatibilityRelation):
         #: Lazily decided by the diameter probe in auto mode (None = undecided).
         self._auto_prefer_dict: Optional[bool] = None
         num_nodes = graph.number_of_nodes()
-        self._bfs_cache: LRUCache[Node, _BFSResult] = LRUCache(
+        # Generation-keyed: mutating the graph drops only the BFS results
+        # whose component a mutation touched; the rest stay valid (results
+        # against an older CSR snapshot keep working through the snapshot's
+        # shared index — see CSRSignedGraph.shares_index_with).
+        self._bfs_cache: GenerationalLRUCache[Node, _BFSResult] = GenerationalLRUCache(
+            graph,
             maxsize=resolve_cache_size(bfs_cache_size, DEFAULT_BFS_CACHE_SIZE, num_nodes),
             bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
         )
@@ -224,6 +230,9 @@ class _ShortestPathRelation(CompatibilityRelation):
         self._bfs_cache.clear()
         self._auto_prefer_dict = None
 
+    def _sync_subclass_caches(self) -> None:
+        self._bfs_cache.sync()
+
     def _compute_compatible_set(self, u: Node) -> Set[Node]:
         result = self._bfs(u)
         if isinstance(result, SignedBFSResult):
@@ -246,6 +255,12 @@ class _ShortestPathRelation(CompatibilityRelation):
             return True
         source, target = (u, v) if u in self._bfs_cache or v not in self._bfs_cache else (v, u)
         result = self._bfs(source)
+        if not isinstance(result, SignedBFSResult) and target not in result.graph:
+            # The cached result survived a mutation elsewhere but predates
+            # ``target``'s addition to the graph: a node outside the result's
+            # snapshot cannot be in the source's (untouched) component, hence
+            # unreachable and incompatible.
+            return False
         if not result.reachable(target):
             return False
         positive, negative = result.counts(target)

@@ -76,6 +76,10 @@ class SkillCompatibilityIndex:
         self._assignment = assignment
         self._count_cap = count_cap
         self._pair_cache: Dict[FrozenSet[Skill], int] = {}
+        # Skill-pair degrees aggregate user pairs across the whole graph, so
+        # any effective mutation may change them; the cache is re-validated
+        # wholesale against the graph's generation on every read.
+        self._generation = relation.graph.generation
 
     @property
     def relation(self) -> CompatibilityRelation:
@@ -93,6 +97,10 @@ class SkillCompatibilityIndex:
         A single user possessing both skills counts as a (self-)compatible
         pair, matching the paper's footnote on self-compatibility.
         """
+        generation = self._relation.graph.generation
+        if generation != self._generation:
+            self._pair_cache.clear()
+            self._generation = generation
         key = frozenset((skill_a, skill_b))
         cached = self._pair_cache.get(key)
         if cached is not None:

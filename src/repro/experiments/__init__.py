@@ -23,6 +23,14 @@ from repro.experiments.figure2 import (
     run_figure2cd,
 )
 from repro.experiments.runner import ReproductionReport, run_all
+from repro.experiments.streaming import (
+    StreamingConfig,
+    StreamingQueryResult,
+    StreamingReport,
+    StreamingRoundResult,
+    apply_edge_churn,
+    run_streaming,
+)
 
 __all__ = [
     "DatasetConfig",
@@ -48,4 +56,10 @@ __all__ = [
     "run_figure2cd",
     "ReproductionReport",
     "run_all",
+    "StreamingConfig",
+    "StreamingQueryResult",
+    "StreamingReport",
+    "StreamingRoundResult",
+    "apply_edge_churn",
+    "run_streaming",
 ]

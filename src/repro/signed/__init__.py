@@ -1,6 +1,7 @@
 """Signed-graph substrate: data structure, I/O, generators, balance, paths, metrics."""
 
 from repro.signed.graph import POSITIVE, NEGATIVE, SignedEdge, SignedGraph
+from repro.signed.delta import GraphDelta
 from repro.signed.balance import (
     BalanceReport,
     harary_bipartition,
@@ -90,6 +91,7 @@ __all__ = [
     "NEGATIVE",
     "SignedEdge",
     "SignedGraph",
+    "GraphDelta",
     "BalanceReport",
     "harary_bipartition",
     "is_balanced",

@@ -49,6 +49,7 @@ dict BFS is faster and ``backend="dict"`` should be forced.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -94,7 +95,7 @@ class CSRSignedGraph:
         ``int8`` array parallel to ``indices`` holding the edge labels.
     """
 
-    __slots__ = ("indptr", "indices", "signs", "_nodes", "_index")
+    __slots__ = ("indptr", "indices", "signs", "generation", "_nodes", "_index")
 
     def __init__(
         self,
@@ -102,12 +103,21 @@ class CSRSignedGraph:
         indices: np.ndarray,
         signs: np.ndarray,
         nodes: List[Node],
+        index: Optional[Dict[Node, int]] = None,
+        generation: int = 0,
     ) -> None:
         self.indptr = indptr
         self.indices = indices
         self.signs = signs
+        #: The :attr:`SignedGraph.generation` this snapshot was taken at
+        #: (``0`` for snapshots built outside the graph's cache).
+        self.generation = generation
         self._nodes = nodes
-        self._index: Dict[Node, int] = {node: i for i, node in enumerate(nodes)}
+        # A pre-built index may be shared across snapshots of the same node
+        # set (delta maintenance); both are treated as immutable.
+        self._index: Dict[Node, int] = (
+            index if index is not None else {node: i for i, node in enumerate(nodes)}
+        )
 
     # ------------------------------------------------------------------ build
 
@@ -131,7 +141,107 @@ class CSRSignedGraph:
                 indices[position] = index[neighbor]
                 signs[position] = sign
                 position += 1
-        return cls(indptr, indices, signs, nodes)
+        return cls(
+            indptr, indices, signs, nodes, index=index, generation=graph.generation
+        )
+
+    @classmethod
+    def apply_delta(
+        cls, base: "CSRSignedGraph", graph: SignedGraph, delta
+    ) -> "CSRSignedGraph":
+        """New snapshot of ``graph`` built by patching ``base`` with ``delta``.
+
+        Only the adjacency rows of nodes the delta touches are rebuilt (in
+        Python, from the graph's adjacency dicts — the source of truth for
+        neighbour order); every other row is copied from ``base`` with one
+        vectorised gather.  The result is **bit-identical** to
+        :meth:`from_signed_graph` on the mutated graph: same node order, same
+        per-row neighbour order, same dtypes (the dynamic-graph equivalence
+        suite asserts this for arbitrary mutation interleavings).
+
+        When the node set is unchanged the new snapshot *shares* the node
+        list and index objects of ``base`` (both are immutable), which is what
+        lets per-source results cached against ``base`` remain dense-id
+        compatible with the new snapshot (:meth:`shares_index_with`).  Node
+        additions extend a copy of the index; node removals trigger a full
+        dense-id remap of the copied rows.
+        """
+        adjacency = graph._adjacency
+        touched = delta.touched_nodes()
+        old_nodes = base._nodes
+        old_degrees = np.diff(base.indptr)
+        if not delta.has_node_changes:
+            nodes = old_nodes
+            index = base._index
+            remap = None
+            back: Optional[np.ndarray] = None
+            degrees = old_degrees.copy()
+        elif not delta.nodes_removed:
+            # Pure additions append to the node order; extend a copy of the
+            # index (cheap C-level dict copy) and keep existing dense ids.
+            nodes = list(adjacency)
+            index = dict(base._index)
+            for position in range(len(old_nodes), len(nodes)):
+                index[nodes[position]] = position
+            remap = None
+            back = None
+            degrees = np.zeros(len(nodes), dtype=np.int64)
+            degrees[: len(old_nodes)] = old_degrees
+        else:
+            # Removals shift dense ids: rebuild the order from the graph and
+            # remap every copied row's neighbour ids.
+            nodes = list(adjacency)
+            index = {node: i for i, node in enumerate(nodes)}
+            remap = np.full(len(old_nodes), -1, dtype=np.int64)
+            for old_id, node in enumerate(old_nodes):
+                new_id = index.get(node)
+                if new_id is not None:
+                    remap[old_id] = new_id
+            back = np.full(len(nodes), -1, dtype=np.int64)
+            kept = np.flatnonzero(remap >= 0)
+            back[remap[kept]] = kept
+            degrees = np.where(back >= 0, old_degrees[np.maximum(back, 0)], 0)
+        num_nodes = len(nodes)
+        touched_ids = sorted(index[node] for node in touched if node in index)
+        for dense in touched_ids:
+            degrees[dense] = len(adjacency[nodes[dense]])
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        indptr[1:] = degrees
+        np.cumsum(indptr, out=indptr)
+        num_entries = int(indptr[-1])
+        indices = np.empty(num_entries, dtype=np.int32)
+        signs = np.empty(num_entries, dtype=np.int8)
+        # Untouched rows: one vectorised slice-to-slice copy for all of them.
+        untouched = np.ones(num_nodes, dtype=bool)
+        if touched_ids:
+            untouched[touched_ids] = False
+        rows = np.flatnonzero(untouched)
+        if rows.size:
+            old_rows = rows if back is None else back[rows]
+            counts = degrees[rows]
+            total = int(counts.sum())
+            if total:
+                src_starts = base.indptr[old_rows]
+                dst_starts = indptr[rows]
+                shifts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+                steps = np.arange(total)
+                src = np.repeat(src_starts - shifts, counts) + steps
+                dst = np.repeat(dst_starts - shifts, counts) + steps
+                values = base.indices[src]
+                if remap is not None:
+                    values = remap[values]
+                indices[dst] = values
+                signs[dst] = base.signs[src]
+        # Touched rows: rebuilt from the adjacency dicts, preserving order.
+        for dense in touched_ids:
+            position = int(indptr[dense])
+            for neighbor, sign in adjacency[nodes[dense]].items():
+                indices[position] = index[neighbor]
+                signs[position] = sign
+                position += 1
+        return cls(
+            indptr, indices, signs, nodes, index=index, generation=graph.generation
+        )
 
     @classmethod
     def from_edges(
@@ -170,6 +280,16 @@ class CSRSignedGraph:
 
     def __contains__(self, node: Node) -> bool:
         return node in self._index
+
+    def shares_index_with(self, other: "CSRSignedGraph") -> bool:
+        """True iff ``other`` uses the *same* dense-id mapping as this snapshot.
+
+        Snapshots produced by delta maintenance (and full rebuilds of an
+        unchanged node set) share the node-list object, so dense arrays
+        computed against one remain valid against the other.  The check is an
+        identity test — O(1), never a node-by-node comparison.
+        """
+        return self._nodes is other._nodes
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -678,6 +798,37 @@ def _extend_camps_csr(
 #: ``(indptr, indices, signs)`` of a CSR graph as plain Python lists.
 _ListAdjacency = Tuple[List[int], List[int], List[int]]
 
+#: Minimum candidate degree for which the Harary camp gather is vectorised;
+#: below it the per-edge Python check wins (a handful of numpy calls plus the
+#: scratch-colouring maintenance cost more than the adjacency scan — measured
+#: break-even sits in the several-hundreds).
+_CAMP_BATCH_THRESHOLD = 512
+
+
+def _hub_camp_check(
+    csr: CSRSignedGraph, node: int, camp_scratch: np.ndarray
+) -> Tuple[bool, int]:
+    """Vectorised Harary-extension check for one high-degree candidate.
+
+    ``camp_scratch`` holds the origin path's camp per node (``-1`` off the
+    path; scattered once per origin by the caller).  The extension is
+    balanced iff every on-path neighbour implies the *same* camp for the
+    candidate (positive edge: the neighbour's camp; negative edge: the
+    opposite camp) — exactly :func:`_extend_camps_csr`, but as one adjacency
+    gather plus a min/max reduction instead of a Python loop per edge, which
+    wins once the candidate's degree dwarfs the path length (hubs).  Returns
+    ``(balanced, required_camp)``; the required camp defaults to ``0`` with
+    no on-path neighbour.
+    """
+    start, stop = csr.indptr[node], csr.indptr[node + 1]
+    camps = camp_scratch[csr.indices[start:stop]]
+    on_path = camps >= 0
+    implied = np.where(csr.signs[start:stop] > 0, camps, 1 - camps)[on_path]
+    if implied.size == 0:
+        return True, 0
+    lowest = int(implied.min())
+    return lowest == int(implied.max()), lowest
+
 
 def balanced_heuristic_search_csr(
     csr: CSRSignedGraph, source: Node, max_length: Optional[int] = None
@@ -689,14 +840,17 @@ def balanced_heuristic_search_csr(
     :func:`shortest_signed_walk_lengths_csr`.  Each level gathers the whole
     frontier's adjacency, computes target states and filters already-claimed
     states with array operations; only the surviving candidates (those that
-    could claim a new representative) run the per-path balance check
-    (:func:`_extend_camps_csr`) in Python, in exactly the order the dict
-    search would have reached them (frontier discovery order, then adjacency
-    order).  The output is therefore **bit-identical** to
+    could claim a new representative) run the per-path balance check, in
+    exactly the order the dict search would have reached them (frontier
+    discovery order, then adjacency order).  The balance check itself is
+    degree-adaptive: ordinary candidates run the per-edge Python check
+    (:func:`_extend_camps_csr`), while **hub** candidates — degree at least
+    :data:`_CAMP_BATCH_THRESHOLD` and well above the origin path length —
+    gather their neighbours' camps vectorised through a scratch camp array
+    scattered once per origin path (:func:`_hub_camp_check`).  Both paths
+    compute the same verdict and camp, so the output is **bit-identical** to
     :meth:`repro.signed.paths.BalancedPathSearch.search_heuristic` — same
-    representative per state, same recorded path lengths — while skipping the
-    per-edge Python work for the (dominant) edges that lead to states already
-    claimed on earlier levels.
+    representative per state, same recorded path lengths.
     """
     if max_length is not None and max_length < 0:
         raise ValueError(f"max_length must be non-negative, got {max_length}")
@@ -705,6 +859,13 @@ def balanced_heuristic_search_csr(
     bound = max_length if max_length is not None else num_nodes - 1
     claimed = np.zeros(2 * num_nodes, dtype=bool)
     claimed[source_id] = True
+    # Scratch Harary colouring for the vectorised hub checks: camp per node
+    # on the last-scattered origin path, -1 elsewhere.  scratch_camps tracks
+    # (by identity) which path's colouring currently occupies it.
+    camp_scratch = np.full(num_nodes, -1, dtype=np.int8)
+    scratch_camps: Optional[Dict[int, int]] = None
+    hub_nodes = csr.degrees() >= _CAMP_BATCH_THRESHOLD
+    has_hubs = bool(hub_nodes.any())
     #: state id -> (representative path, camps), both in dense ids.
     representative: Dict[int, Tuple[List[int], Dict[int, int]]] = {
         source_id: ([source_id], {source_id: 0})
@@ -721,6 +882,7 @@ def balanced_heuristic_search_csr(
         csr.indices.tolist(),
         csr.signs.tolist(),
     )
+    indptr_list = adjacency[0]
     while frontier and depth < bound:
         states = np.asarray(frontier, dtype=np.int64)
         node_part = states % num_nodes
@@ -736,21 +898,49 @@ def balanced_heuristic_search_csr(
         # Vectorised prefilter: drop every edge whose target state was claimed
         # on an earlier level (the dict search's `state in representative`).
         open_positions = np.flatnonzero(~claimed[target_states])
-        candidate_nodes = targets[open_positions].tolist()
+        candidate_array = targets[open_positions]
+        candidate_nodes = candidate_array.tolist()
         candidate_states = target_states[open_positions].tolist()
         candidate_origins = np.repeat(states, counts)[open_positions].tolist()
+        # One vectorised gather flags the hub candidates (degree past the
+        # batching threshold); hub-free graphs — the common case — skip even
+        # that and zip a constant, paying nothing for the adaptivity.
+        if has_hubs:
+            hub_flags: Iterable[bool] = hub_nodes[candidate_array].tolist()
+        else:
+            hub_flags = itertools.repeat(False)
         next_frontier: List[int] = []
-        for t_node, t_state, o_state in zip(
-            candidate_nodes, candidate_states, candidate_origins
+        for t_node, t_state, o_state, is_hub in zip(
+            candidate_nodes, candidate_states, candidate_origins, hub_flags
         ):
             if claimed[t_state]:
                 continue  # claimed earlier in this same level
             path, camps = representative[o_state]
             if t_node in camps:
                 continue  # revisiting the representative path
-            extended = _extend_camps_csr(adjacency, camps, t_node)
-            if extended is None:
-                continue  # unbalanced extension — prune
+            if is_hub and (
+                indptr_list[t_node + 1] - indptr_list[t_node] >= 4 * len(camps)
+            ):
+                # Hub candidate: the adjacency scan dominates, so gather the
+                # camps vectorised.  The scratch colouring is scattered once
+                # per origin path (identity-tracked) and lazily reset when
+                # the next hub check uses a different origin.
+                if scratch_camps is not camps:
+                    if scratch_camps is not None:
+                        for dense in scratch_camps:
+                            camp_scratch[dense] = -1
+                    for dense, camp in camps.items():
+                        camp_scratch[dense] = camp
+                    scratch_camps = camps
+                balanced, required = _hub_camp_check(csr, t_node, camp_scratch)
+                if not balanced:
+                    continue  # unbalanced extension — prune
+                extended = dict(camps)
+                extended[t_node] = required
+            else:
+                extended = _extend_camps_csr(adjacency, camps, t_node)
+                if extended is None:
+                    continue  # unbalanced extension — prune
             claimed[t_state] = True
             representative[t_state] = (path + [t_node], extended)
             if t_state < num_nodes:

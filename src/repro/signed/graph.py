@@ -13,16 +13,28 @@ SNAP loaders use the original string ids).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.exceptions import (
     EdgeNotFoundError,
     InvalidSignError,
     NodeNotFoundError,
 )
+from repro.signed.delta import GraphDelta
 
 Node = Hashable
 Sign = int
+
+#: Fraction of the edge count a delta may reach before :meth:`SignedGraph.csr_view`
+#: abandons in-place patching and rebuilds the CSR snapshot from scratch.
+DELTA_REBUILD_FRACTION = 0.05
+
+#: Floor on the delta-apply budget, so tiny graphs still take the patch path
+#: for small batches instead of always rebuilding.
+MIN_DELTA_EVENTS = 32
+
+#: Entries kept in the per-graph memo of ``affected_nodes_since`` results.
+_AFFECTED_MEMO_BOUND = 8
 
 #: Sign constant for a "friend" edge.
 POSITIVE: Sign = 1
@@ -100,9 +112,51 @@ class SignedGraph:
         self._adjacency: Dict[Node, Dict[Node, Sign]] = {}
         self._num_edges = 0
         self._num_positive = 0
-        #: Bumped on every mutation; used to invalidate the cached CSR view.
-        self._mutations = 0
+        #: Monotonically increasing snapshot stamp, bumped on every *effective*
+        #: mutation (no-op writes never bump it).  The CSR view and every
+        #: generation-keyed cache downstream key their validity on it.
+        self._generation = 0
         self._csr_cache: Optional[Tuple[int, object]] = None
+        #: Structured mutation log since the last CSR snapshot; ``None`` until
+        #: the first snapshot exists (nothing to patch before that).
+        self._delta: Optional[GraphDelta] = None
+        #: node -> generation at which it was last touched by a mutation.
+        #: Feeds :meth:`affected_nodes_since` (targeted cache invalidation).
+        self._touched: Dict[Node, int] = {}
+        #: Generation of the last node addition/removal (node-set validity).
+        self._node_set_generation = 0
+        #: from-generation -> affected set (or None = everything), memoised for
+        #: the *current* generation so the many generation-keyed caches that
+        #: sync from the same point share one component sweep.
+        self._affected_memo: Dict[int, Optional[FrozenSet[Node]]] = {}
+
+    @property
+    def generation(self) -> int:
+        """The current mutation generation (monotonic; no-ops never bump it)."""
+        return self._generation
+
+    @property
+    def _mutations(self) -> int:
+        """Backward-compatible alias for :attr:`generation`."""
+        return self._generation
+
+    def _record_mutation(self, *nodes: Node) -> None:
+        """Bump the generation and mark ``nodes`` as touched by it."""
+        self._generation += 1
+        for node in nodes:
+            self._touched[node] = self._generation
+        if self._affected_memo:
+            self._affected_memo.clear()
+
+    def node_set_changed_since(self, generation: int) -> bool:
+        """True iff a node was added or removed after ``generation``.
+
+        Consumers whose per-source results depend on the *whole node set*
+        (e.g. the NNE relation's complement-style compatible sets) use this to
+        fall back to wholesale invalidation when component-conservative
+        invalidation would be unsound.
+        """
+        return self._node_set_generation > generation
 
     # ------------------------------------------------------------------ build
 
@@ -125,7 +179,10 @@ class SignedGraph:
         """Add ``node`` to the graph; adding an existing node is a no-op."""
         if node not in self._adjacency:
             self._adjacency[node] = {}
-            self._mutations += 1
+            self._record_mutation(node)
+            self._node_set_generation = self._generation
+            if self._delta is not None:
+                self._delta.record_node_added(node)
 
     def add_edge(self, u: Node, v: Node, sign: Sign) -> None:
         """Add the undirected signed edge ``(u, v, sign)``.
@@ -153,12 +210,18 @@ class SignedGraph:
         self._adjacency[u][v] = sign
         self._adjacency[v][u] = sign
         self._num_edges += 1
-        self._mutations += 1
+        self._record_mutation(u, v)
+        if self._delta is not None:
+            self._delta.record_edge_added(u, v, sign)
         if sign == POSITIVE:
             self._num_positive += 1
 
     def set_sign(self, u: Node, v: Node, sign: Sign) -> None:
-        """Change the sign of an existing edge ``(u, v)`` to ``sign``."""
+        """Change the sign of an existing edge ``(u, v)`` to ``sign``.
+
+        Writing the sign the edge already has is a true no-op: the generation
+        is not bumped, so the CSR view and every downstream cache stay valid.
+        """
         if sign not in _VALID_SIGNS:
             raise InvalidSignError(sign)
         current = self.sign(u, v)
@@ -166,7 +229,9 @@ class SignedGraph:
             return
         self._adjacency[u][v] = sign
         self._adjacency[v][u] = sign
-        self._mutations += 1
+        self._record_mutation(u, v)
+        if self._delta is not None:
+            self._delta.record_sign_changed(u, v, sign)
         if sign == POSITIVE:
             self._num_positive += 1
         else:
@@ -178,7 +243,9 @@ class SignedGraph:
         del self._adjacency[u][v]
         del self._adjacency[v][u]
         self._num_edges -= 1
-        self._mutations += 1
+        self._record_mutation(u, v)
+        if self._delta is not None:
+            self._delta.record_edge_removed(u, v)
         if sign == POSITIVE:
             self._num_positive -= 1
 
@@ -189,7 +256,10 @@ class SignedGraph:
         for neighbor in list(self._adjacency[node]):
             self.remove_edge(node, neighbor)
         del self._adjacency[node]
-        self._mutations += 1
+        self._record_mutation(node)
+        self._node_set_generation = self._generation
+        if self._delta is not None:
+            self._delta.record_node_removed(node)
 
     # ------------------------------------------------------------------ query
 
@@ -288,23 +358,92 @@ class SignedGraph:
     # ------------------------------------------------------------- transforms
 
     def csr_view(self):
-        """Return the indexed CSR snapshot of this graph (cached until mutation).
+        """Return the indexed CSR snapshot of this graph (cached per generation).
 
         The view (:class:`~repro.signed.csr.CSRSignedGraph`) maps nodes to
         dense integer ids and stores adjacency as flat offset/neighbour/sign
-        arrays — the backend the batched BFS algorithms run on.  It is rebuilt
-        lazily after any mutation; holding on to a stale view is safe (it is a
-        snapshot) but new queries through this method always reflect the
-        current graph.
+        arrays — the backend the batched BFS algorithms run on.  Holding on to
+        a stale view is safe (it is a snapshot); new queries through this
+        method always reflect the current graph.
+
+        Snapshots are **delta-maintained**: mutations since the last snapshot
+        are kept in a structured :class:`~repro.signed.delta.GraphDelta`, and
+        small batches (up to :data:`DELTA_REBUILD_FRACTION` of the edges)
+        patch the previous snapshot's arrays
+        (:meth:`~repro.signed.csr.CSRSignedGraph.apply_delta`) instead of
+        rebuilding from scratch — bit-identical to a full rebuild, asserted by
+        the dynamic-graph equivalence suite.  Each snapshot carries the
+        :attr:`generation` it was taken at.
         """
         from repro.signed.csr import CSRSignedGraph
 
         cached = self._csr_cache
-        if cached is not None and cached[0] == self._mutations:
+        if cached is not None and cached[0] == self._generation:
             return cached[1]
-        view = CSRSignedGraph.from_signed_graph(self)
-        self._csr_cache = (self._mutations, view)
+        old_view = cached[1] if cached is not None else None
+        delta = self._delta
+        view = None
+        if (
+            old_view is not None
+            and delta is not None
+            and delta
+            and not delta.overflowed
+            and len(delta)
+            <= max(MIN_DELTA_EVENTS, int(DELTA_REBUILD_FRACTION * self._num_edges))
+        ):
+            view = CSRSignedGraph.apply_delta(old_view, self, delta)
+        if view is None:
+            view = CSRSignedGraph.from_signed_graph(self)
+            if old_view is not None and old_view._nodes == view._nodes:
+                # Same node set as the previous snapshot: share the node-list
+                # and index *identity* so per-source results that survived
+                # targeted cache invalidation stay dense-id compatible with
+                # the new snapshot (see CSRSignedGraph.shares_index_with).
+                view._nodes = old_view._nodes
+                view._index = old_view._index
+        self._csr_cache = (self._generation, view)
+        self._delta = GraphDelta()
         return view
+
+    def affected_nodes_since(self, generation: int) -> Optional[FrozenSet[Node]]:
+        """Nodes whose per-source results may have changed since ``generation``.
+
+        The set is conservative by connected component of the *current* graph:
+        a BFS/search result rooted at ``s`` can only change when a mutation
+        touches a node in ``s``'s component (edge removals keep every affected
+        source connected to a touched endpoint; node removals keep them
+        connected to a touched neighbour), so the union of components
+        containing a touched node — plus touched nodes no longer present —
+        covers every stale entry.  Returns ``None`` when most of the graph is
+        affected (callers should drop everything), and the empty set when
+        ``generation`` is current.  Results are memoised per ``generation``
+        until the next mutation, so the many generation-keyed caches syncing
+        from the same point share one sweep.
+        """
+        if generation >= self._generation:
+            return frozenset()
+        if generation in self._affected_memo:
+            return self._affected_memo[generation]
+        seeds = [node for node, gen in self._touched.items() if gen > generation]
+        num_nodes = len(self._adjacency)
+        result: Optional[FrozenSet[Node]]
+        if 2 * len(seeds) >= num_nodes:
+            result = None
+        else:
+            affected = set(seeds)
+            stack = [seed for seed in seeds if seed in self._adjacency]
+            adjacency = self._adjacency
+            while stack:
+                node = stack.pop()
+                for neighbor in adjacency[node]:
+                    if neighbor not in affected:
+                        affected.add(neighbor)
+                        stack.append(neighbor)
+            result = None if 2 * len(affected) >= num_nodes else frozenset(affected)
+        if len(self._affected_memo) >= _AFFECTED_MEMO_BOUND:
+            self._affected_memo.clear()
+        self._affected_memo[generation] = result
+        return result
 
     def copy(self) -> "SignedGraph":
         """Return an independent copy of the graph."""

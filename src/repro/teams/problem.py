@@ -95,6 +95,28 @@ class TeamFormationProblem:
             )
         return self._skill_index
 
+    def refresh(self) -> None:
+        """Re-validate the problem against a mutated graph and resync caches.
+
+        The compatibility caches are generation-keyed and expire by
+        themselves, so queries after a mutation are always correct without
+        this call; ``refresh()`` (1) re-checks that every task skill still
+        has a holder *present in the graph* (raising
+        :class:`~repro.exceptions.InfeasibleTaskError` otherwise — node
+        removals can starve a skill even though the assignment is unchanged)
+        and (2) eagerly performs the delta-applied CSR snapshot rebuild and
+        the targeted cache invalidation via
+        :meth:`~repro.compatibility.engine.CompatibilityEngine.refresh`, so
+        the next query doesn't pay them.  Streaming workloads call it once
+        per update batch.
+        """
+        missing = {
+            skill for skill in self.task.skills if not self.candidates_for_skill(skill)
+        }
+        if missing:
+            raise InfeasibleTaskError(missing)
+        self.engine.refresh()
+
     def candidates_for_skill(self, skill: Hashable) -> FrozenSet[Node]:
         """Users of the graph that possess ``skill``."""
         return frozenset(

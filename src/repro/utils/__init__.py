@@ -1,5 +1,6 @@
 """Small shared utilities: RNG handling, validation helpers, text tables, timing."""
 
+from repro.utils.generational import GenerationalLRUCache
 from repro.utils.lru import (
     APPROX_BYTES_PER_NODE,
     DEFAULT_CACHE_BUDGET_BYTES,
@@ -19,6 +20,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "GenerationalLRUCache",
     "LRUCache",
     "fetch_batched",
     "scaled_cache_size",

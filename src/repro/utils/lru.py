@@ -200,6 +200,15 @@ class LRUCache(Generic[K, V]):
         """Iterate over ``(key, value)`` pairs, least recently used first."""
         return iter(self._data.items())
 
+    def discard(self, key: K) -> bool:
+        """Drop ``key`` if present; returns whether an entry was removed.
+
+        Unlike evictions, discards are the owner's explicit invalidation
+        (e.g. generation-based dropping of stale entries) and therefore do
+        not count towards :attr:`evictions`.
+        """
+        return self._data.pop(key, _MISSING) is not _MISSING
+
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         self._data.clear()

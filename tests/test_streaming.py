@@ -1,0 +1,130 @@
+"""The streaming-update workload: churn + queries over generation-keyed caches.
+
+The acceptance property: a long-lived engine answering queries across churn
+rounds produces *exactly* the teams and costs a cold stack (fresh relation,
+oracle, engine on a copy of the mutated graph) produces — for every
+deterministic algorithm, on both the dict and CSR backends.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.compatibility import CompatibilityEngine, DistanceOracle, make_relation
+from repro.datasets import toy_dataset
+from repro.exceptions import InfeasibleTaskError
+from repro.experiments.streaming import (
+    StreamingConfig,
+    apply_edge_churn,
+    run_streaming,
+)
+from repro.signed.generators import planted_factions_graph
+from repro.skills.generators import assign_skills_zipf
+from repro.skills.task import random_tasks
+from repro.teams import TeamFormationProblem, run_algorithm
+
+
+class TestApplyEdgeChurn:
+    def test_counts_and_reproducibility(self):
+        graph1, _ = planted_factions_graph(30, average_degree=4.0, sign_noise=0.1, seed=1)
+        graph2 = graph1.copy()
+        counts1 = apply_edge_churn(graph1, 25, random.Random(9))
+        counts2 = apply_edge_churn(graph2, 25, random.Random(9))
+        assert counts1 == counts2
+        assert graph1 == graph2
+        assert sum(counts1) > 0
+
+    def test_rejects_bad_fractions(self):
+        graph, _ = planted_factions_graph(10, average_degree=3.0, sign_noise=0.1, seed=2)
+        with pytest.raises(ValueError):
+            apply_edge_churn(graph, 5, random.Random(0), add_fraction=0.8, remove_fraction=0.5)
+
+    def test_preserves_node_set(self):
+        graph, _ = planted_factions_graph(20, average_degree=3.0, sign_noise=0.1, seed=3)
+        before = set(graph.nodes())
+        apply_edge_churn(graph, 50, random.Random(4))
+        assert set(graph.nodes()) == before
+
+
+class TestStreamingEquivalence:
+    """Live engine under churn == cold engine on a fresh graph, per round."""
+
+    @pytest.mark.parametrize("relation_name,kwargs", [
+        ("SPO", {"backend": "dict"}),
+        ("SPO", {"backend": "csr"}),
+        ("SPA", {"backend": "csr"}),
+        ("SBPH", {}),
+        ("NNE", {}),
+    ])
+    def test_algorithms_match_cold_stack_every_round(self, relation_name, kwargs):
+        graph, _ = planted_factions_graph(40, average_degree=4.0, sign_noise=0.2, seed=31)
+        skills = assign_skills_zipf(graph.nodes(), num_skills=8, skills_per_user=2.5, seed=32)
+        relation = make_relation(relation_name, graph, **kwargs)
+        oracle = DistanceOracle(relation)
+        engine = CompatibilityEngine(relation, oracle=oracle)
+        rng = random.Random(33)
+        tasks = random_tasks(skills, size=3, count=3, seed=34)
+        for round_index in range(3):
+            apply_edge_churn(graph, 10, rng)
+            for task in tasks[:2]:
+                live_problem = TeamFormationProblem(
+                    graph, skills, relation, task, engine=engine
+                )
+                live_problem.refresh()
+                cold_graph = graph.copy()
+                cold_relation = make_relation(relation_name, cold_graph, **kwargs)
+                cold_problem = TeamFormationProblem(
+                    cold_graph, skills, cold_relation, task
+                )
+                for algorithm in ("LCMD", "LCMC", "RFMD", "RFMC"):
+                    live = run_algorithm(algorithm, live_problem)
+                    cold = run_algorithm(algorithm, cold_problem)
+                    assert live.team == cold.team, (
+                        f"{relation_name} {algorithm} round {round_index}"
+                    )
+                    assert live.cost == cold.cost
+
+
+class TestRunStreaming:
+    def test_report_structure_and_determinism(self):
+        config = StreamingConfig(
+            dataset="toy",
+            relation="SPO",
+            backend="dict",
+            algorithms=("LCMD", "RFMC"),
+            num_rounds=3,
+            churn_per_round=5,
+            tasks_per_round=1,
+            task_size=2,
+            max_seeds=None,
+            seed=77,
+        )
+        report = run_streaming(config)
+        assert len(report.rounds) == 3
+        for round_result in report.rounds:
+            assert len(round_result.queries) == 2  # 1 task x 2 algorithms
+            assert round_result.generation > 0
+        text = report.as_text()
+        assert "Streaming workload" in text
+        assert "LCMD" in text and "RFMC" in text
+        # Deterministic: the same config reproduces the same teams and costs.
+        again = run_streaming(config)
+        for first, second in zip(report.rounds, again.rounds):
+            assert [q.cost for q in first.queries] == [q.cost for q in second.queries]
+            assert first.generation == second.generation
+
+    def test_refresh_raises_when_skill_starved(self):
+        dataset = toy_dataset()
+        graph = dataset.graph
+        skills = dataset.skills
+        task = random_tasks(skills, size=2, count=1, seed=1)[0]
+        relation = make_relation("NNE", graph)
+        problem = TeamFormationProblem(graph, skills, relation, task)
+        task_skill = next(iter(task.skills))
+        for holder in list(skills.users_with(task_skill)):
+            if holder in graph:
+                graph.remove_node(holder)
+        with pytest.raises(InfeasibleTaskError):
+            problem.refresh()
