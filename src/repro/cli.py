@@ -7,8 +7,15 @@ Installed as ``repro-teams`` (see ``pyproject.toml``); also runnable as
 * ``compatibility`` — print the compatibility statistics of one dataset;
 * ``team`` — form a team for a task given as a comma-separated skill list;
 * ``reproduce`` — run the full experiment suite (all tables and figures);
+* ``table2`` / ``figure2`` — run just that experiment;
 * ``streaming`` — run the dynamic-graph workload: edge churn interleaved with
   team-formation queries over the generation-keyed caches.
+
+The experiment commands (``table2``, ``figure2``, ``streaming`` and
+``reproduce``) take ``--workers N`` / ``--chunk-size M`` to fan the
+per-source kernel sweeps out over a process pool
+(:class:`repro.exec.ExecutionPolicy`); the default is serial, so existing
+invocations are unchanged, and results are identical in every mode.
 """
 
 from __future__ import annotations
@@ -24,7 +31,17 @@ from repro.compatibility import (
     pair_statistics,
 )
 from repro.datasets import available, dataset_statistics, load_dataset
-from repro.experiments import StreamingConfig, default_config, fast_config, run_all, run_streaming
+from repro.experiments import (
+    StreamingConfig,
+    build_dataset_context,
+    default_config,
+    fast_config,
+    run_all,
+    run_figure2ab,
+    run_figure2cd,
+    run_streaming,
+    run_table2,
+)
 from repro.skills import Task
 from repro.teams import ALGORITHM_NAMES, TeamFormationProblem, run_algorithm
 from repro.utils.tables import format_table
@@ -62,10 +79,49 @@ def build_parser() -> argparse.ArgumentParser:
     team_parser.add_argument("--seed", type=int, default=None)
     team_parser.add_argument("--scale", type=float, default=None)
 
+    def add_execution_flags(subparser: argparse.ArgumentParser) -> None:
+        """``--workers`` / ``--chunk-size``: the ExecutionPolicy pool knobs."""
+        subparser.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help="worker processes for per-source kernel sweeps "
+            "(0 = serial, the default; -1 = one per CPU)",
+        )
+        subparser.add_argument(
+            "--chunk-size",
+            type=int,
+            default=None,
+            help="sources per worker task (default: derived per dispatch)",
+        )
+
     reproduce_parser = subparsers.add_parser("reproduce", help="run all tables and figures")
     reproduce_parser.add_argument(
         "--fast", action="store_true", help="use the miniature configuration"
     )
+    add_execution_flags(reproduce_parser)
+
+    table2_parser = subparsers.add_parser(
+        "table2", help="run Table 2 (compatibility-relation comparison) only"
+    )
+    table2_parser.add_argument(
+        "--fast", action="store_true", help="use the miniature configuration"
+    )
+    add_execution_flags(table2_parser)
+
+    figure2_parser = subparsers.add_parser(
+        "figure2", help="run Figure 2 (team-formation panels) only"
+    )
+    figure2_parser.add_argument(
+        "--fast", action="store_true", help="use the miniature configuration"
+    )
+    figure2_parser.add_argument(
+        "--panels",
+        choices=("ab", "cd", "all"),
+        default="all",
+        help="which Figure-2 panels to run (default: all)",
+    )
+    add_execution_flags(figure2_parser)
 
     streaming_parser = subparsers.add_parser(
         "streaming", help="edge churn interleaved with team-formation queries"
@@ -91,7 +147,18 @@ def build_parser() -> argparse.ArgumentParser:
     streaming_parser.add_argument(
         "--backend", default="auto", choices=("auto", "dict", "csr")
     )
+    add_execution_flags(streaming_parser)
     return parser
+
+
+def _experiment_config(arguments: argparse.Namespace):
+    """Build the experiment configuration an experiment command asked for."""
+    config = fast_config() if arguments.fast else default_config()
+    if arguments.workers or arguments.chunk_size is not None:
+        config = config.with_execution(
+            workers=arguments.workers, chunk_size=arguments.chunk_size
+        )
+    return config
 
 
 def _command_datasets(arguments: argparse.Namespace) -> int:
@@ -149,8 +216,26 @@ def _command_team(arguments: argparse.Namespace) -> int:
 
 
 def _command_reproduce(arguments: argparse.Namespace) -> int:
-    config = fast_config() if arguments.fast else default_config()
-    run_all(config)
+    run_all(_experiment_config(arguments))
+    return 0
+
+
+def _command_table2(arguments: argparse.Namespace) -> int:
+    result = run_table2(_experiment_config(arguments))
+    print(result.as_text())
+    return 0
+
+
+def _command_figure2(arguments: argparse.Namespace) -> int:
+    config = _experiment_config(arguments)
+    # One shared context (relation caches included) across both panel pairs.
+    context = build_dataset_context(config, config.team_dataset)
+    sections: List[str] = []
+    if arguments.panels in ("ab", "all"):
+        sections.append(run_figure2ab(config, context).as_text())
+    if arguments.panels in ("cd", "all"):
+        sections.append(run_figure2cd(config, context).as_text())
+    print("\n\n".join(sections))
     return 0
 
 
@@ -167,6 +252,8 @@ def _command_streaming(arguments: argparse.Namespace) -> int:
         scale=arguments.scale,
         relation=arguments.relation.upper(),
         backend=arguments.backend,
+        workers=arguments.workers,
+        chunk_size=arguments.chunk_size,
         algorithms=algorithms,
         num_rounds=arguments.rounds,
         churn_per_round=arguments.churn,
@@ -188,6 +275,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compatibility": _command_compatibility,
         "team": _command_team,
         "reproduce": _command_reproduce,
+        "table2": _command_table2,
+        "figure2": _command_figure2,
         "streaming": _command_streaming,
     }
     return handlers[arguments.command](arguments)

@@ -46,6 +46,7 @@ from __future__ import annotations
 from typing import FrozenSet, List, Optional, Sequence, Set
 
 from repro.compatibility.base import CacheSize, CompatibilityRelation, resolve_cache_size
+from repro.exec.policy import POLICY_DEFAULT, ExecutionPolicy, resolve_policy
 from repro.signed.graph import NEGATIVE, Node, SignedGraph
 from repro.signed.paths import (
     INFINITY,
@@ -54,7 +55,7 @@ from repro.signed.paths import (
     shortest_signed_walk_lengths,
 )
 from repro.utils.generational import GenerationalLRUCache
-from repro.utils.lru import APPROX_BYTES_PER_NODE
+from repro.utils.lru import APPROX_BYTES_PER_NODE, fetch_batched
 from repro.utils.optional import numpy_available, require_numpy, warn_numpy_missing
 
 #: Default bound on the number of cached per-source balanced-path results.
@@ -63,6 +64,13 @@ from repro.utils.optional import numpy_available, require_numpy, warn_numpy_miss
 #: amortised on the bundled datasets; larger graphs re-search evicted sources
 #: on later sweeps — raise the bound (or pass ``None``) if memory allows.
 DEFAULT_RESULT_CACHE_SIZE = 4096
+
+#: Sources per :meth:`_BalancedPathRelation.batch_search` dispatch inside the
+#: reverse sweeps.  Bounds how many O(n) search results the sweep holds
+#: outside the LRU at once (the LRU's own byte-aware bound stays the ceiling
+#: for what is *retained*), while still giving a worker pool whole chunks to
+#: chew on.
+REVERSE_SWEEP_CHUNK = 64
 
 
 class _BalancedPathRelation(CompatibilityRelation):
@@ -79,18 +87,20 @@ class _BalancedPathRelation(CompatibilityRelation):
         graph: SignedGraph,
         max_path_length: Optional[int] = None,
         max_expansions: int = 2_000_000,
-        result_cache_size: CacheSize = "auto",
-        compatible_cache_size: CacheSize = "auto",
-        backend: str = "auto",
+        result_cache_size: CacheSize = POLICY_DEFAULT,
+        compatible_cache_size: CacheSize = POLICY_DEFAULT,
+        backend: Optional[str] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
-        super().__init__(graph, compatible_cache_size=compatible_cache_size)
-        if backend not in ("auto", "dict", "csr"):
-            raise ValueError(
-                f"backend must be 'auto', 'dict' or 'csr', got {backend!r}"
-            )
-        if backend == "csr":
+        policy = resolve_policy(
+            policy,
+            backend=backend,
+            result_cache_size=result_cache_size,
+            compatible_cache_size=compatible_cache_size,
+        )
+        super().__init__(graph, policy=policy)
+        if policy.backend == "csr":
             require_numpy("backend='csr'")
-        self._backend = backend
         self._search = BalancedPathSearch(
             graph, max_length=max_path_length, max_expansions=max_expansions
         )
@@ -110,7 +120,7 @@ class _BalancedPathRelation(CompatibilityRelation):
             GenerationalLRUCache(
                 graph,
                 maxsize=resolve_cache_size(
-                    result_cache_size, DEFAULT_RESULT_CACHE_SIZE, num_nodes
+                    policy.result_cache_size, DEFAULT_RESULT_CACHE_SIZE, num_nodes
                 ),
                 bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
             )
@@ -140,9 +150,9 @@ class _BalancedPathRelation(CompatibilityRelation):
         """
         if self.exact_search:
             return False
-        if self._backend == "csr":
+        if self._policy.backend == "csr":
             return True
-        if self._backend == "dict":
+        if self._policy.backend == "dict":
             return False
         if self._graph.number_of_nodes() < self.CSR_SEARCH_THRESHOLD:
             return False
@@ -165,6 +175,60 @@ class _BalancedPathRelation(CompatibilityRelation):
             if result.truncated:
                 self._truncated_sources.add(source)
         return result
+
+    def batch_search(self, sources: Sequence[Node]) -> List[BalancedPathResult]:
+        """One balanced-path search result per source, via the executor.
+
+        Uncached sources are resolved by the policy's executor — in-process
+        under a serial policy, fanned out in chunks over the worker pool for
+        ``workers >= 2`` (the CSR SBPH search ships dense depth maps back and
+        is re-keyed to node objects here; dict searches ship whole results).
+        Each result is bit-identical to :meth:`_search_from`; results are
+        written through to the result cache and truncation flags are recorded
+        exactly as the per-source path would have.
+        """
+        source_list = list(sources)
+        self._require_nodes(*source_list)
+        self._prune_truncated()
+
+        def compute_missing(missing: List[Node]) -> List[BalancedPathResult]:
+            results = self._map_searches(missing)
+            for source, result in zip(missing, results):
+                if result.truncated:
+                    self._truncated_sources.add(source)
+            return results
+
+        return fetch_batched(self._result_cache, source_list, compute_missing)
+
+    def _map_searches(self, sources: List[Node]) -> List[BalancedPathResult]:
+        """Run the relation's search for every source through the executor."""
+        executor = self._executor()
+        if self._use_csr_search():
+            from repro.signed.csr import balanced_result_from_depths
+
+            csr = self._graph.csr_view()
+            raw = executor.map_kernel(
+                "csr_sbph",
+                csr,
+                [csr.index_of(source) for source in sources],
+                params={"max_length": self.max_path_length},
+            )
+            return [
+                balanced_result_from_depths(
+                    csr, source, positive_depths, negative_depths, self.max_path_length
+                )
+                for source, (positive_depths, negative_depths) in zip(sources, raw)
+            ]
+        return executor.map_kernel(
+            "dict_balanced_search",
+            self._graph,
+            sources,
+            params={
+                "exact": self.exact_search,
+                "max_length": self.max_path_length,
+                "max_expansions": self._search._max_expansions,
+            },
+        )
 
     def _clear_subclass_cache(self) -> None:
         self._result_cache.clear()
@@ -225,11 +289,29 @@ class _BalancedPathRelation(CompatibilityRelation):
         is written into the compatible-set cache, so follow-up per-source
         queries (e.g. the average-distance estimator) are cache hits.
         """
-        self._require_nodes(*sources)
+        source_list = list(sources)
+        self._require_nodes(*source_list)
         compatible_sets: List[Set[Node]] = []
         candidates: Set[Node] = set()
-        for source in sources:
-            result = self._search_from(source)
+        forward_results = self.batch_search(source_list)
+        # A reverse find implies a positive walk from the source, so the
+        # union of the sources' positive-walk neighbourhoods bounds the
+        # reverse sweep (same pruning as _compute_compatible_set) — nodes
+        # in components containing no sampled source are never searched.
+        # The double-cover walks go through the pool alongside the searches
+        # when the policy is parallel.
+        if self._policy.parallel:
+            walks = self._executor().map_kernel(
+                "dict_walk_lengths", self._graph, source_list
+            )
+        else:
+            walks = [
+                shortest_signed_walk_lengths(self._graph, source)
+                for source in source_list
+            ]
+        for source, result, (positive_walks, _negative) in zip(
+            source_list, forward_results, walks
+        ):
             compatible_sets.append(
                 {
                     node
@@ -237,23 +319,23 @@ class _BalancedPathRelation(CompatibilityRelation):
                     if node != source and self._pair_allowed(source, node)
                 }
             )
-            # A reverse find implies a positive walk from the source, so the
-            # union of the sources' positive-walk neighbourhoods bounds the
-            # reverse sweep (same pruning as _compute_compatible_set) — nodes
-            # in components containing no sampled source are never searched.
-            positive_walks, _ = shortest_signed_walk_lengths(self._graph, source)
             candidates.update(positive_walks)
         # One reverse pass: each candidate is searched (at most) once, and
-        # every sampled source checks membership in that one result.
-        for node in candidates:
-            positive_lengths = self._search_from(node).positive_lengths
-            for position, source in enumerate(sources):
-                if node == source or node in compatible_sets[position]:
-                    continue
-                if source in positive_lengths and self._pair_allowed(source, node):
-                    compatible_sets[position].add(node)
+        # every sampled source checks membership in that one result.  The
+        # sweep is dispatched in chunks so only REVERSE_SWEEP_CHUNK O(n)
+        # results are held outside the LRU at any moment.
+        candidate_list = list(candidates)
+        for start in range(0, len(candidate_list), REVERSE_SWEEP_CHUNK):
+            chunk = candidate_list[start : start + REVERSE_SWEEP_CHUNK]
+            for node, node_result in zip(chunk, self.batch_search(chunk)):
+                positive_lengths = node_result.positive_lengths
+                for position, source in enumerate(source_list):
+                    if node == source or node in compatible_sets[position]:
+                        continue
+                    if source in positive_lengths and self._pair_allowed(source, node):
+                        compatible_sets[position].add(node)
         frozen: List[FrozenSet[Node]] = []
-        for source, found in zip(sources, compatible_sets):
+        for source, found in zip(source_list, compatible_sets):
             found.add(source)
             result_set = frozenset(found)
             self._compatible_cache[source] = result_set
@@ -267,6 +349,67 @@ class _BalancedPathRelation(CompatibilityRelation):
         :meth:`batch_compatible_sets`.
         """
         return [len(found) - 1 for found in self.batch_compatible_sets(sources)]
+
+    def batch_distance_to_set(
+        self, candidates: Sequence[Node], team: Sequence[Node]
+    ) -> List[float]:
+        """Largest balanced distance from each candidate to any team member.
+
+        The batched counterpart of looping
+        :meth:`~repro.compatibility.distance.DistanceOracle.distance_to_set`
+        under a balanced relation (the last per-candidate loop in LCMD): the
+        team members' forward searches are resolved once and shared by every
+        candidate, and the candidates' reverse searches run as one chunked
+        sweep through the executor (parallel under a pool policy) instead of
+        one :meth:`_search_from` at a time.  Every value equals
+        ``max(positive_balanced_distance(member, candidate) for member in
+        team)`` exactly — same symmetric two-direction minimum, same
+        ``inf`` for missing paths and negative-edge pairs.
+        """
+        candidate_list = list(candidates)
+        team_list = list(team)
+        if not candidate_list:
+            return []
+        if not team_list:
+            return [0.0] * len(candidate_list)
+        self._require_nodes(*candidate_list)
+        self._require_nodes(*team_list)
+        distances: List[float] = [0.0] * len(candidate_list)
+        # Cheap pre-pass first: a direct negative edge to any member makes the
+        # maximum inf without any search (the short-circuit the per-candidate
+        # loop had) — only the surviving candidates join the reverse sweep.
+        searchable: List[int] = []
+        for position, candidate in enumerate(candidate_list):
+            if any(
+                member != candidate and not self._pair_allowed(member, candidate)
+                for member in team_list
+            ):
+                distances[position] = INFINITY
+            else:
+                searchable.append(position)
+        if not searchable:
+            return distances
+        member_results = self.batch_search(team_list)
+        for start in range(0, len(searchable), REVERSE_SWEEP_CHUNK):
+            positions = searchable[start : start + REVERSE_SWEEP_CHUNK]
+            chunk = [candidate_list[position] for position in positions]
+            for position, candidate, candidate_result in zip(
+                positions, chunk, self.batch_search(chunk)
+            ):
+                best = 0.0
+                for member, member_result in zip(team_list, member_results):
+                    if member == candidate:
+                        continue  # distance 0 never raises the maximum
+                    distance = min(
+                        member_result.positive_length(candidate),
+                        candidate_result.positive_length(member),
+                    )
+                    if distance > best:
+                        best = distance
+                    if best == INFINITY:
+                        break
+                distances[position] = best
+        return distances
 
     def positive_balanced_distance(self, u: Node, v: Node) -> float:
         """Length of the best positive balanced path found between ``u`` and ``v``.

@@ -22,9 +22,16 @@ cheap.
 from __future__ import annotations
 
 import abc
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import NodeNotFoundError
+from repro.exec.policy import (
+    POLICY_DEFAULT,
+    CacheSize,
+    ExecutionPolicy,
+    executor_for,
+    resolve_policy,
+)
 from repro.signed.graph import NEGATIVE, POSITIVE, Node, SignedGraph
 from repro.utils.generational import GenerationalLRUCache
 from repro.utils.lru import APPROX_BYTES_PER_NODE, scaled_cache_size
@@ -32,11 +39,6 @@ from repro.utils.lru import APPROX_BYTES_PER_NODE, scaled_cache_size
 #: Default bound on the number of cached per-source compatible sets (the
 #: ceiling the byte-aware ``"auto"`` sizing starts from).
 DEFAULT_COMPATIBLE_CACHE_SIZE = 4096
-
-#: A cache-size parameter: an explicit entry bound, ``None`` for unbounded, or
-#: ``"auto"`` for a byte-aware bound scaled by graph size (entries are O(n);
-#: see :func:`repro.utils.lru.scaled_cache_size`).
-CacheSize = Union[int, None, str]
 
 
 def resolve_cache_size(value: CacheSize, ceiling: int, num_nodes: int) -> Optional[int]:
@@ -61,11 +63,18 @@ class CompatibilityRelation(abc.ABC):
     graph:
         The signed graph the relation is defined over.
     compatible_cache_size:
-        LRU bound on cached per-source compatible sets; each set is O(n), so
-        the bound caps the relation's memory at roughly
-        ``compatible_cache_size * n`` references on dense relations.  The
-        default ``"auto"`` scales :data:`DEFAULT_COMPATIBLE_CACHE_SIZE` down
-        by graph size to respect a byte budget; ``None`` disables eviction.
+        Legacy override for ``policy.compatible_cache_size`` — the LRU bound
+        on cached per-source compatible sets; each set is O(n), so the bound
+        caps the relation's memory at roughly ``compatible_cache_size * n``
+        references on dense relations.  ``"auto"`` (the policy default)
+        scales :data:`DEFAULT_COMPATIBLE_CACHE_SIZE` down by graph size to
+        respect a byte budget; ``None`` disables eviction.  Prefer setting it
+        on the policy.
+    policy:
+        The :class:`~repro.exec.ExecutionPolicy` governing backend choice,
+        worker-pool execution and cache budgets.  ``None`` uses the default
+        (serial) policy; explicitly passed legacy keyword arguments override
+        the matching policy fields.
     """
 
     #: Short name used in the paper's tables (e.g. ``"SPA"``); set by subclasses.
@@ -80,9 +89,13 @@ class CompatibilityRelation(abc.ABC):
     def __init__(
         self,
         graph: SignedGraph,
-        compatible_cache_size: CacheSize = "auto",
+        compatible_cache_size: CacheSize = POLICY_DEFAULT,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
         self._graph = graph
+        self._policy = resolve_policy(
+            policy, compatible_cache_size=compatible_cache_size
+        )
         num_nodes = graph.number_of_nodes()
         # Generation-keyed: entries auto-expire when a mutation touches their
         # source's connected component, so mutating the graph never requires a
@@ -91,7 +104,9 @@ class CompatibilityRelation(abc.ABC):
             GenerationalLRUCache(
                 graph,
                 maxsize=resolve_cache_size(
-                    compatible_cache_size, DEFAULT_COMPATIBLE_CACHE_SIZE, num_nodes
+                    self._policy.compatible_cache_size,
+                    DEFAULT_COMPATIBLE_CACHE_SIZE,
+                    num_nodes,
                 ),
                 bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
                 component_local=type(self).component_local_sets,
@@ -102,6 +117,15 @@ class CompatibilityRelation(abc.ABC):
     def graph(self) -> SignedGraph:
         """The signed graph this relation is bound to."""
         return self._graph
+
+    @property
+    def policy(self) -> ExecutionPolicy:
+        """The execution policy this relation runs under."""
+        return self._policy
+
+    def _executor(self):
+        """The executor serving this relation's policy (serial or pooled)."""
+        return executor_for(self._policy)
 
     # ----------------------------------------------------------------- public
 

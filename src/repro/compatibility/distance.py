@@ -23,6 +23,12 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.compatibility.balanced import _BalancedPathRelation
 from repro.compatibility.base import CacheSize, CompatibilityRelation, resolve_cache_size
 from repro.compatibility.shortest_path import CSR_AUTO_THRESHOLD, _ShortestPathRelation
+from repro.exec.policy import (
+    POLICY_DEFAULT,
+    ExecutionPolicy,
+    executor_for,
+    resolve_policy,
+)
 from repro.signed.graph import Node, SignedGraph
 from repro.signed.paths import INFINITY, shortest_path_lengths
 from repro.utils.generational import GenerationalLRUCache
@@ -40,10 +46,14 @@ class DistanceOracle:
     """Pairwise user distances consistent with a compatibility relation.
 
     Single-source distance maps are cached in a bounded LRU (``cache_size``
-    entries; the default ``"auto"`` scales the bound by graph size, ``None``
-    disables eviction).  The sign-agnostic BFS follows the relation's backend
-    choice when the relation has one (an SP* relation built with
-    ``backend="dict"`` keeps the oracle on the dict BFS too); otherwise it
+    entries, a legacy override for the policy's ``distance_cache_size``; the
+    default ``"auto"`` scales the bound by graph size, ``None`` disables
+    eviction).  The oracle inherits the relation's
+    :class:`~repro.exec.ExecutionPolicy` unless given one explicitly, so its
+    sign-agnostic BFS follows the relation's backend choice (an SP* relation
+    built with ``backend="dict"`` keeps the oracle on the dict BFS too) and
+    its batched sweeps run on the same executor — under a pool policy the
+    team's distance maps are computed by worker processes.  Otherwise it
     switches to the indexed CSR backend at
     :data:`~repro.compatibility.shortest_path.CSR_AUTO_THRESHOLD` nodes when
     numpy is available.  :meth:`warm` and :meth:`batch_distance_to_set` are
@@ -54,16 +64,23 @@ class DistanceOracle:
     def __init__(
         self,
         relation: CompatibilityRelation,
-        cache_size: CacheSize = "auto",
+        cache_size: CacheSize = POLICY_DEFAULT,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
         self._relation = relation
         self._graph = relation.graph
+        self._policy = resolve_policy(
+            policy if policy is not None else relation.policy,
+            distance_cache_size=cache_size,
+        )
         num_nodes = self._graph.number_of_nodes()
         # Generation-keyed like the relations' caches: distance maps are
         # per-source BFS results, so mutations invalidate by component.
         self._bfs_cache: GenerationalLRUCache[Node, object] = GenerationalLRUCache(
             self._graph,
-            maxsize=resolve_cache_size(cache_size, DEFAULT_DISTANCE_CACHE_SIZE, num_nodes),
+            maxsize=resolve_cache_size(
+                self._policy.distance_cache_size, DEFAULT_DISTANCE_CACHE_SIZE, num_nodes
+            ),
             bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
         )
 
@@ -71,6 +88,11 @@ class DistanceOracle:
     def relation(self) -> CompatibilityRelation:
         """The compatibility relation whose distance definition is used."""
         return self._relation
+
+    @property
+    def policy(self) -> ExecutionPolicy:
+        """The execution policy the oracle's sweeps run under."""
+        return self._policy
 
     def distance(self, u: Node, v: Node) -> float:
         """Distance from ``u`` to ``v`` under the relation's definition.
@@ -143,15 +165,22 @@ class DistanceOracle:
         source_list = list(sources)
 
         def compute_missing(missing: List[Node]) -> List[object]:
+            executor = executor_for(self._policy)
             if self._use_csr():
-                from repro.signed.csr import (
-                    CSRLengths,
-                    multi_source_shortest_path_lengths_csr,
-                )
+                from repro.signed.csr import CSRLengths
 
                 csr = self._graph.csr_view()
-                arrays = multi_source_shortest_path_lengths_csr(csr, missing)
+                arrays = executor.map_kernel(
+                    "csr_path_lengths",
+                    csr,
+                    [csr.index_of(source) for source in missing],
+                    params={
+                        "lockstep_threshold": self._policy.lockstep_node_threshold
+                    },
+                )
                 return [CSRLengths(csr, lengths) for lengths in arrays]
+            if self._policy.parallel:
+                return executor.map_kernel("dict_path_lengths", self._graph, missing)
             return [shortest_path_lengths(self._graph, source) for source in missing]
 
         return fetch_batched(self._bfs_cache, source_list, compute_missing)
@@ -165,8 +194,11 @@ class DistanceOracle:
         (:meth:`warm`) and, on the CSR backend, the per-candidate maximum over
         members is computed with array indexing instead of a Python loop per
         pair.  Values are identical to calling :meth:`distance_to_set` per
-        candidate; balanced-path relations (whose distance is the balanced
-        path length, not a BFS level) delegate to exactly that loop.
+        candidate.  Balanced-path relations — whose distance is the balanced
+        path length, not a BFS level — delegate to the relation's own
+        :meth:`~repro.compatibility.balanced._BalancedPathRelation.batch_distance_to_set`
+        (shared forward searches plus one chunked reverse sweep, pool-parallel
+        under a worker policy) instead of the per-candidate loop.
         """
         candidate_list = list(candidates)
         team_list = list(team)
@@ -174,7 +206,13 @@ class DistanceOracle:
             return []
         if not team_list:
             return [0.0] * len(candidate_list)
-        if isinstance(self._relation, _BalancedPathRelation) or not self._use_csr():
+        if isinstance(self._relation, _BalancedPathRelation):
+            return self._relation.batch_distance_to_set(candidate_list, team_list)
+        if not self._use_csr():
+            if self._policy.parallel:
+                # Prefetch the members' distance maps through the pool; the
+                # per-candidate loop below then reads cached maps.
+                self.warm(team_list)
             return [self.distance_to_set(c, team_list) for c in candidate_list]
         import numpy as np
 

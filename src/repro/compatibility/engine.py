@@ -40,6 +40,12 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 from repro.compatibility.base import CacheSize, CompatibilityRelation
 from repro.compatibility.distance import DistanceOracle
 from repro.compatibility.shortest_path import _ShortestPathRelation
+from repro.exec.policy import (
+    POLICY_DEFAULT,
+    ExecutionPolicy,
+    executor_for,
+    resolve_policy,
+)
 from repro.signed.graph import Node, SignedGraph
 from repro.signed.paths import SignedBFSResult
 from repro.utils.generational import GenerationalLRUCache
@@ -60,43 +66,62 @@ class CompatibilityEngine:
         The compatibility relation to serve queries for.
     oracle:
         Optional pre-built :class:`DistanceOracle`; built from ``relation``
-        when omitted.  Sharing the oracle shares its distance-map caches.
+        (under the engine's policy) when omitted.  Sharing the oracle shares
+        its distance-map caches.
     batched:
-        When false, every query runs the legacy per-pair code path.  This is
-        the reference mode the equivalence tests compare against; production
-        callers leave it on.
+        Deprecated shim for ``policy.batched``: when false, every query runs
+        the legacy per-pair code path — the reference mode the equivalence
+        tests compare against; production callers leave it on.  ``None``
+        (default) takes the policy's value.
     mask_cache_size:
-        Bound on the engine-level rule-mask memo: for SP* relations on the
-        CSR backend, :meth:`compatible_from_many` memoises one boolean mask
-        per ``(team member, graph generation)``, so Algorithm 2's repeated
+        Legacy override for ``policy.mask_cache_size`` — the bound on the
+        engine-level rule-mask memo: for SP* relations on the CSR backend,
+        :meth:`compatible_from_many` memoises one boolean mask per
+        ``(team member, graph generation)``, so Algorithm 2's repeated
         filters against the same team skip both the BFS lookup and the mask
-        recomputation.  ``"auto"`` (default) scales by graph size, an ``int``
-        is used as-is, ``None`` disables eviction.
+        recomputation.  ``"auto"`` (the policy default) scales by graph size,
+        an ``int`` is used as-is, ``None`` disables eviction.
+    policy:
+        The :class:`~repro.exec.ExecutionPolicy` the engine serves queries
+        under; defaults to the relation's policy.  Under a pool policy the
+        batched sweeps behind :meth:`warm`, :meth:`compatible_from_many` and
+        :meth:`distances_to_team_many` run on the worker pool.
     """
 
     def __init__(
         self,
         relation: CompatibilityRelation,
         oracle: Optional[DistanceOracle] = None,
-        batched: bool = True,
-        mask_cache_size: CacheSize = "auto",
+        batched: Optional[bool] = None,
+        mask_cache_size: CacheSize = POLICY_DEFAULT,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
         self._relation = relation
-        self._oracle = oracle if oracle is not None else DistanceOracle(relation)
+        self._policy = resolve_policy(
+            policy if policy is not None else relation.policy,
+            batched=batched,
+            mask_cache_size=mask_cache_size,
+        )
+        self._oracle = (
+            oracle
+            if oracle is not None
+            else DistanceOracle(relation, policy=self._policy)
+        )
         if self._oracle.relation is not relation:
             raise ValueError("the oracle must be built on the engine's relation")
-        self._batched = batched
+        self._batched = self._policy.batched
         num_nodes = relation.graph.number_of_nodes()
-        if isinstance(mask_cache_size, str):
-            if mask_cache_size != "auto":
+        mask_bound = self._policy.mask_cache_size
+        if isinstance(mask_bound, str):
+            if mask_bound != "auto":
                 raise ValueError(
-                    f"mask_cache_size must be an int, None or 'auto', got {mask_cache_size!r}"
+                    f"mask_cache_size must be an int, None or 'auto', got {mask_bound!r}"
                 )
             resolved = scaled_cache_size(
                 DEFAULT_MASK_CACHE_SIZE, num_nodes, bytes_per_node=1
             )
         else:
-            resolved = mask_cache_size
+            resolved = mask_bound
         # member -> (node-list identity of the snapshot, mask array).  The
         # generational wrapper drops entries whose member's component a
         # mutation touched; the identity tag guards against dense-id drift
@@ -130,6 +155,15 @@ class CompatibilityEngine:
     def batched(self) -> bool:
         """Whether batched strategies are enabled (false = legacy per-pair)."""
         return self._batched
+
+    @property
+    def policy(self) -> ExecutionPolicy:
+        """The execution policy the engine serves queries under."""
+        return self._policy
+
+    def executor(self):
+        """The executor behind the engine's batched sweeps (serial or pooled)."""
+        return executor_for(self._policy)
 
     # ------------------------------------------------------- pairwise facade
 
@@ -346,6 +380,11 @@ class CompatibilityEngine:
         targeted cache invalidation out of the next query's latency — the
         natural point in a streaming workload is right after an update batch,
         before queries resume.
+
+        Under a pool policy no extra work is needed for the workers: shipped
+        snapshots are keyed by ``(object, generation)``, so the first sweep
+        after a generation bump republishes the fresh snapshot automatically
+        and unlinks the stale one.
         """
         if numpy_available() and self.graph._csr_cache is not None:
             self.graph.csr_view()

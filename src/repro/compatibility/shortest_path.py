@@ -47,6 +47,7 @@ from repro.compatibility.base import (
     CompatibilityRelation,
     resolve_cache_size,
 )
+from repro.exec.policy import POLICY_DEFAULT, ExecutionPolicy, resolve_policy
 from repro.signed.graph import Node, SignedGraph
 from repro.signed.paths import SignedBFSResult, signed_bfs
 from repro.utils.generational import GenerationalLRUCache
@@ -79,29 +80,40 @@ class _ShortestPathRelation(CompatibilityRelation):
     graph:
         The signed graph the relation is defined over.
     backend:
-        ``"dict"``, ``"csr"`` or ``"auto"`` (size- and diameter-adaptive).
+        Legacy override for ``policy.backend``: ``"dict"``, ``"csr"`` or
+        ``"auto"`` (size- and diameter-adaptive).  Prefer setting it on the
+        policy.
     bfs_cache_size:
-        LRU bound on cached per-source BFS results; ``"auto"`` (default)
+        Legacy override for ``policy.bfs_cache_size`` — the LRU bound on
+        cached per-source BFS results; ``"auto"`` (the policy default)
         scales :data:`DEFAULT_BFS_CACHE_SIZE` down by graph size so the cache
         respects a byte budget, an ``int`` is used as-is, ``None`` disables
         eviction.
+    policy:
+        The :class:`~repro.exec.ExecutionPolicy` governing backend choice,
+        worker-pool execution and cache budgets.  With ``workers >= 2`` the
+        batched entry points (:meth:`batch_bfs`, :meth:`batch_compatible_sets`)
+        dispatch their per-source traversals to a process pool; results are
+        bit-identical to serial execution.
     """
 
     def __init__(
         self,
         graph: SignedGraph,
-        backend: str = "auto",
-        bfs_cache_size: CacheSize = "auto",
-        compatible_cache_size: CacheSize = "auto",
+        backend: Optional[str] = None,
+        bfs_cache_size: CacheSize = POLICY_DEFAULT,
+        compatible_cache_size: CacheSize = POLICY_DEFAULT,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
-        super().__init__(graph, compatible_cache_size=compatible_cache_size)
-        if backend not in ("auto", "dict", "csr"):
-            raise ValueError(
-                f"backend must be 'auto', 'dict' or 'csr', got {backend!r}"
-            )
-        if backend == "csr":
+        policy = resolve_policy(
+            policy,
+            backend=backend,
+            bfs_cache_size=bfs_cache_size,
+            compatible_cache_size=compatible_cache_size,
+        )
+        super().__init__(graph, policy=policy)
+        if policy.backend == "csr":
             require_numpy("backend='csr'")
-        self._backend = backend
         #: Lazily decided by the diameter probe in auto mode (None = undecided).
         self._auto_prefer_dict: Optional[bool] = None
         num_nodes = graph.number_of_nodes()
@@ -111,14 +123,21 @@ class _ShortestPathRelation(CompatibilityRelation):
         # shared index — see CSRSignedGraph.shares_index_with).
         self._bfs_cache: GenerationalLRUCache[Node, _BFSResult] = GenerationalLRUCache(
             graph,
-            maxsize=resolve_cache_size(bfs_cache_size, DEFAULT_BFS_CACHE_SIZE, num_nodes),
+            maxsize=resolve_cache_size(
+                policy.bfs_cache_size, DEFAULT_BFS_CACHE_SIZE, num_nodes
+            ),
             bytes_per_entry=num_nodes * APPROX_BYTES_PER_NODE,
         )
 
+    def _level_threshold(self) -> int:
+        """The auto-mode probe eccentricity cut-over (policy override or default)."""
+        override = self._policy.csr_auto_level_threshold
+        return CSR_AUTO_LEVEL_THRESHOLD if override is None else override
+
     def _use_csr(self) -> bool:
-        if self._backend == "csr":
+        if self._policy.backend == "csr":
             return True
-        if self._backend == "dict":
+        if self._policy.backend == "dict":
             return False
         if self._graph.number_of_nodes() < CSR_AUTO_THRESHOLD:
             return False
@@ -171,12 +190,12 @@ class _ShortestPathRelation(CompatibilityRelation):
                 )
             probes += 1
             if (
-                levels > CSR_AUTO_LEVEL_THRESHOLD
+                levels > self._level_threshold()
                 or len(seen) >= half
                 or probes >= self._MAX_DIAMETER_PROBES
             ):
                 break
-        self._auto_prefer_dict = levels > CSR_AUTO_LEVEL_THRESHOLD
+        self._auto_prefer_dict = levels > self._level_threshold()
 
     def _bfs(self, source: Node) -> _BFSResult:
         result = self._bfs_cache.get(source)
@@ -196,32 +215,60 @@ class _ShortestPathRelation(CompatibilityRelation):
         return result
 
     def batch_bfs(self, sources: Sequence[Node]) -> List[_BFSResult]:
-        """One Algorithm-1 result per source, batched on the CSR backend.
+        """One Algorithm-1 result per source, batched through the executor.
 
-        On the CSR backend, uncached sources advance through one lockstep
-        multi-source traversal (:func:`repro.signed.csr.multi_source_signed_bfs`)
-        over the shared index; sources whose counts overflow int64 fall back
-        to the dict backend's arbitrary-precision BFS individually.  Results
+        On the CSR backend, uncached sources are resolved by the policy's
+        executor running the ``csr_signed_bfs`` kernel — in-process for a
+        serial policy (one lockstep multi-source traversal below the lockstep
+        threshold, cache-resident per-source traversals above), or fanned out
+        in chunks over the worker pool for ``workers >= 2``.  Sources whose
+        counts overflow int64 fall back to the dict backend's
+        arbitrary-precision BFS individually, in the parent process.  Results
         are held locally for the duration of the call, so a batch larger than
         the LRU bound is still computed exactly once; they are also written
         through to the cache for follow-up per-pair queries.  Every result is
-        bit-identical to what :meth:`_bfs` would have produced.
+        bit-identical to what :meth:`_bfs` would have produced, whatever the
+        executor.
         """
         source_list = list(sources)
         self._require_nodes(*source_list)
         if not self._use_csr():
-            return [self._bfs(source) for source in source_list]
+            if not self._policy.parallel:
+                return [self._bfs(source) for source in source_list]
+
+            def compute_missing_dict(missing: List[Node]) -> List[_BFSResult]:
+                return self._executor().map_kernel(
+                    "dict_signed_bfs", self._graph, missing
+                )
+
+            return fetch_batched(self._bfs_cache, source_list, compute_missing_dict)
 
         def compute_missing(missing: List[Node]) -> List[_BFSResult]:
-            from repro.signed.csr import multi_source_signed_bfs
+            from repro.signed.csr import CSRSignedBFSResult
 
             csr = self._graph.csr_view()
-            batched = multi_source_signed_bfs(csr, missing, skip_overflow=True)
+            triples = self._executor().map_kernel(
+                "csr_signed_bfs",
+                csr,
+                [csr.index_of(source) for source in missing],
+                params={
+                    "skip_overflow": True,
+                    "lockstep_threshold": self._policy.lockstep_node_threshold,
+                },
+            )
             return [
                 # None marks an int64 overflow: that source needs the dict
                 # backend's arbitrary-precision counts.
-                result if result is not None else signed_bfs(self._graph, source)
-                for source, result in zip(missing, batched)
+                signed_bfs(self._graph, source)
+                if triple is None
+                else CSRSignedBFSResult(
+                    source=source,
+                    graph=csr,
+                    lengths_array=triple[0],
+                    positive_array=triple[1],
+                    negative_array=triple[2],
+                )
+                for source, triple in zip(missing, triples)
             ]
 
         return fetch_batched(self._bfs_cache, source_list, compute_missing)
@@ -278,6 +325,11 @@ class _ShortestPathRelation(CompatibilityRelation):
         source_list = list(sources)
         self._require_nodes(*source_list)
         if not self._use_csr():
+            if self._policy.parallel:
+                # Prefetch the per-source BFS results through the worker
+                # pool; the base-class per-source loop below then reads them
+                # from the cache instead of traversing serially.
+                self.batch_bfs(source_list)
             return super().batch_compatible_sets(source_list)
 
         def compute_missing(missing: List[Node]) -> List[FrozenSet[Node]]:
@@ -302,13 +354,22 @@ class _ShortestPathRelation(CompatibilityRelation):
         On the CSR backend every uncached source shares the lockstep
         multi-source BFS and the pair rule is applied as a vectorised mask —
         no per-node Python iteration and no set materialisation.  On the dict
-        backend it falls back to the base class's per-source loop.  The counts
-        are identical across backends.
+        backend it falls back to the base class's per-source loop.  Under a
+        pool policy, uncached sources are counted *inside* the workers
+        (``csr_compatible_degrees``): each per-source BFS reduces to one
+        integer before crossing the process boundary, so the sweep ships
+        back O(k) ints instead of O(k·n) count arrays (the BFS results are
+        then not cached — the count is the product).  The counts are
+        identical across backends and executors.
         """
         source_list = list(sources)
         self._require_nodes(*source_list)
         if not self._use_csr():
+            # The base class delegates to batch_compatible_sets, whose SP*
+            # override already prefetches through the pool when parallel.
             return super().batch_compatibility_degrees(source_list)
+        if self._policy.parallel:
+            return self._batch_degrees_parallel(source_list)
         degrees: List[int] = []
         for source, result in zip(source_list, self.batch_bfs(source_list)):
             if isinstance(result, SignedBFSResult):
@@ -320,6 +381,47 @@ class _ShortestPathRelation(CompatibilityRelation):
                 result.positive_array, result.negative_array
             )
             degrees.append(result.compatible_count(rule_mask))
+        return degrees
+
+    def _batch_degrees_parallel(self, source_list: List[Node]) -> List[int]:
+        """Pool path of :meth:`batch_compatibility_degrees`: worker-side counts.
+
+        Sources with a cached BFS result are counted in the parent from the
+        cache (same arithmetic as the serial path); only the misses are
+        dispatched, and they come back as bare integers.  Overflow slots
+        (``None``) fall back to the dict backend per source, exactly like the
+        serial path's ``SignedBFSResult`` branch.
+        """
+        degrees: List[Optional[int]] = [None] * len(source_list)
+        missing: List[Node] = []
+        missing_positions: List[int] = []
+        for position, source in enumerate(source_list):
+            result = self._bfs_cache.get(source)
+            if result is None:
+                missing.append(source)
+                missing_positions.append(position)
+            elif isinstance(result, SignedBFSResult):
+                degrees[position] = self.compatibility_degree(source)
+            else:
+                rule_mask = self._pair_rule_mask(
+                    result.positive_array, result.negative_array
+                )
+                degrees[position] = result.compatible_count(rule_mask)
+        if missing:
+            csr = self._graph.csr_view()
+            counts = self._executor().map_kernel(
+                "csr_compatible_degrees",
+                csr,
+                [csr.index_of(source) for source in missing],
+                params={
+                    "rule": self.name,
+                    "lockstep_threshold": self._policy.lockstep_node_threshold,
+                },
+            )
+            for source, position, count in zip(missing, missing_positions, counts):
+                degrees[position] = (
+                    self.compatibility_degree(source) if count is None else count
+                )
         return degrees
 
     @staticmethod

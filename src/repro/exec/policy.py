@@ -1,0 +1,241 @@
+"""The :class:`ExecutionPolicy`: one object for every execution knob.
+
+Before this layer existed, the choices "which backend runs the per-source
+kernels", "when does the lockstep batch pay", "how big may each cache grow"
+were sprinkled across the relations, the distance oracle, the engine and the
+experiment runners as loose keyword arguments (``backend="auto"``,
+``bfs_cache_size=...``, ``batched=False``).  Adding a *parallelism* dimension
+to that string plumbing would have made it unmaintainable, so all of it now
+lives here:
+
+* :class:`ExecutionPolicy` — a frozen, hashable bundle of backend choice,
+  adaptive thresholds, worker-pool shape and cache budgets.  Every relation,
+  oracle and engine holds exactly one and consults it instead of ad-hoc
+  parameters.
+* :func:`resolve_policy` — the shim that maps the legacy keyword arguments
+  (which remain supported, see the README's deprecation note) onto a policy.
+* :func:`executor_for` — policy in, executor out: a shared
+  :class:`~repro.exec.serial.SerialExecutor` for serial policies, a
+  process-pool executor (:mod:`repro.exec.pool`) for ``workers >= 2``, with a
+  one-time-warning fallback to serial when pools cannot be created on the
+  platform.
+
+The module is importable without numpy (the CSR-specific thresholds default
+to ``None`` = "the library constant", resolved lazily at the use site).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Union
+
+#: A cache-size knob: an explicit entry bound, ``None`` for unbounded, or
+#: ``"auto"`` for the byte-aware bound scaled by graph size (the same type the
+#: relations have always accepted — see :mod:`repro.utils.lru`).
+CacheSize = Union[int, None, str]
+
+
+class _PolicyDefault:
+    """Sentinel for 'take this knob from the policy' in legacy signatures.
+
+    ``None`` cannot play that role because it is a meaningful cache-size value
+    (unbounded), so the legacy cache-size keywords default to this sentinel
+    instead.
+    """
+
+    _instance: Optional["_PolicyDefault"] = None
+
+    def __new__(cls) -> "_PolicyDefault":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<policy default>"
+
+
+#: The sentinel instance legacy keyword arguments default to.
+POLICY_DEFAULT = _PolicyDefault()
+
+_VALID_BACKENDS = ("auto", "dict", "csr")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How per-source kernels are executed and how much their caches may hold.
+
+    Instances are immutable and hashable; derive variants with
+    :func:`dataclasses.replace` or :func:`resolve_policy`.
+
+    Parameters
+    ----------
+    backend:
+        ``"auto"`` (size- and diameter-adaptive), ``"dict"`` or ``"csr"`` —
+        the kernel backend the SP* relations and the SBPH heuristic run on.
+    batched:
+        When false, every engine query runs the legacy per-pair code path
+        (the reference mode the equivalence tests compare against).
+    workers:
+        ``0`` or ``1`` — serial execution (the default); ``>= 2`` — dispatch
+        per-source kernel batches to a persistent pool of that many worker
+        processes; ``-1`` — one worker per CPU.  Results are bit-identical to
+        serial execution in every mode.
+    chunk_size:
+        Sources per worker task.  ``None`` derives a chunk size from the
+        batch size and worker count (about four tasks per worker, so stragglers
+        even out without drowning the batch in per-task IPC).
+    min_parallel_sources:
+        Batches smaller than this run in-process even under a pool policy —
+        shipping a two-source batch to workers costs more than running it.
+    lockstep_node_threshold:
+        Override for :data:`repro.signed.csr.LOCKSTEP_NODE_THRESHOLD`
+        (``None`` keeps the library default): the graph size above which the
+        multi-source kernels abandon the lockstep ``k x n`` batch for
+        cache-resident per-source traversals.
+    csr_auto_level_threshold:
+        Override for
+        :data:`repro.compatibility.shortest_path.CSR_AUTO_LEVEL_THRESHOLD`
+        (``None`` keeps the library default): the probe eccentricity above
+        which ``backend="auto"`` stays on the dict backend.
+    compatible_cache_size / bfs_cache_size / result_cache_size /
+    distance_cache_size / mask_cache_size:
+        The per-source cache budgets previously passed to each layer
+        individually (compatible sets, SP* BFS results, balanced-path search
+        results, distance maps, engine rule masks).  Same semantics as
+        before: an ``int`` bound, ``None`` for unbounded, ``"auto"`` for the
+        byte-aware scaled bound.
+    seed:
+        Base seed for the deterministic per-chunk RNG seeding inside worker
+        processes (kernels that draw randomness see the same stream for the
+        same chunk regardless of which worker runs it or in which order
+        chunks complete).
+    """
+
+    backend: str = "auto"
+    batched: bool = True
+    workers: int = 0
+    chunk_size: Optional[int] = None
+    min_parallel_sources: int = 4
+    lockstep_node_threshold: Optional[int] = None
+    csr_auto_level_threshold: Optional[int] = None
+    compatible_cache_size: CacheSize = "auto"
+    bfs_cache_size: CacheSize = "auto"
+    result_cache_size: CacheSize = "auto"
+    distance_cache_size: CacheSize = "auto"
+    mask_cache_size: CacheSize = "auto"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend not in _VALID_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_VALID_BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers < -1:
+            raise ValueError(f"workers must be >= -1, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
+        if self.min_parallel_sources < 1:
+            raise ValueError(
+                f"min_parallel_sources must be >= 1, got {self.min_parallel_sources}"
+            )
+
+    # ------------------------------------------------------------- resolution
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (``-1`` resolves to the CPU count)."""
+        if self.workers == -1:
+            import os
+
+            return max(1, os.cpu_count() or 1)
+        return max(1, self.workers)
+
+    @property
+    def parallel(self) -> bool:
+        """True iff this policy dispatches kernel batches to a worker pool."""
+        return self.resolved_workers() > 1
+
+    def executor(self):
+        """The executor serving this policy (see :func:`executor_for`)."""
+        return executor_for(self)
+
+
+def resolve_policy(
+    policy: Optional[ExecutionPolicy] = None, **overrides
+) -> ExecutionPolicy:
+    """Merge legacy keyword arguments onto an :class:`ExecutionPolicy`.
+
+    ``policy=None`` starts from the default policy.  An override equal to
+    :data:`POLICY_DEFAULT` keeps the policy's value, as does ``None`` for the
+    non-cache knobs (``backend``, ``batched``, ...) where ``None`` has no
+    legacy meaning; anything else replaces the field.  Cache-size knobs use
+    the sentinel precisely so that an explicit legacy ``None`` (= unbounded)
+    still gets through.  This is the single shim behind every deprecated
+    per-layer keyword, so "legacy kwarg wins over the policy field when
+    explicitly given" holds uniformly.
+    """
+    base = policy if policy is not None else ExecutionPolicy()
+    updates = {}
+    for name, value in overrides.items():
+        if value is POLICY_DEFAULT:
+            continue
+        if value is None and not name.endswith("_cache_size"):
+            continue
+        updates[name] = value
+    return replace(base, **updates) if updates else base
+
+
+# --------------------------------------------------------------------- lookup
+
+#: Process-pool executors keyed by policy (each wraps a pool shared per
+#: worker count); serial policies all share one stateless executor.
+_EXECUTORS: Dict[ExecutionPolicy, object] = {}
+
+#: Set after pool creation failed once: later pool policies degrade to serial
+#: without retrying (and without re-warning).
+_POOLS_UNAVAILABLE = False
+
+
+def executor_for(policy: ExecutionPolicy):
+    """Return the executor that serves ``policy``.
+
+    Serial policies (``workers <= 1``) share one
+    :class:`~repro.exec.serial.SerialExecutor`.  Pool policies get a
+    :class:`~repro.exec.pool.ProcessPoolExecutor` bound to the policy (pools
+    themselves are shared per worker count).  If the platform cannot run a
+    pool — no ``multiprocessing.shared_memory``, no process support — the
+    policy degrades to the serial executor with a one-time
+    :class:`RuntimeWarning`, mirroring the numpy-free backend degradation.
+    """
+    global _POOLS_UNAVAILABLE
+    from repro.exec.serial import serial_executor
+
+    if not policy.parallel or _POOLS_UNAVAILABLE:
+        return serial_executor()
+    executor = _EXECUTORS.get(policy)
+    if executor is None or getattr(executor, "closed", False):
+        from repro.exec.pool import ExecutorUnavailable, ProcessPoolExecutor
+
+        try:
+            executor = ProcessPoolExecutor(policy)
+        except ExecutorUnavailable as error:
+            _POOLS_UNAVAILABLE = True
+            warnings.warn(
+                f"process pools are unavailable on this platform ({error}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return serial_executor()
+        _EXECUTORS[policy] = executor
+    return executor
+
+
+def reset_executors() -> None:
+    """Close every pool and forget cached executors (tests, forked servers)."""
+    global _POOLS_UNAVAILABLE
+    from repro.exec.pool import shutdown_pools
+
+    _EXECUTORS.clear()
+    _POOLS_UNAVAILABLE = False
+    shutdown_pools()

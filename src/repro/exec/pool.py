@@ -1,0 +1,539 @@
+"""The process-pool executor: per-source kernels fanned out over workers.
+
+The per-source traversals behind the Table-2 sweeps and the engine's ``warm``
+paths are embarrassingly parallel — every source's BFS/search is independent —
+but they all read one shared graph snapshot.  The executor here makes that
+shape explicit:
+
+* **Snapshot shipping.**  A frozen :class:`~repro.signed.csr.CSRSignedGraph`
+  is published once per (object, generation) as three raw arrays in
+  ``multiprocessing.shared_memory`` segments; workers map the segments and
+  build zero-copy ``numpy`` views — no pickling of the arrays, no node
+  objects (kernels work on dense ids; see :mod:`repro.exec.kernels`).  Dict
+  payloads (:class:`~repro.signed.graph.SignedGraph`) fall back to a pickled
+  copy shipped through a shared-memory blob, once per generation.
+* **Generation checking.**  A publication is keyed by the payload's identity
+  *and* its ``generation``; a mutated graph (or a fresh snapshot after a
+  churn batch) republishes automatically, so workers can never serve results
+  against a stale snapshot.
+* **Deterministic merging.**  Sources are split into index-ordered chunks,
+  dispatched with :meth:`multiprocessing.pool.Pool.map` (which returns
+  results in task order regardless of completion order), and concatenated —
+  so the merged result list is bit-identical to a serial run however the
+  chunks were scheduled.  Each chunk additionally seeds the worker's ``random``
+  module from ``(policy seed, chunk index)``, so even randomness-using kernels
+  are reproducible and worker-assignment-independent.
+* **Graceful degradation.**  If pools or shared memory are unavailable on the
+  platform (or a payload cannot be shipped), execution falls back to the
+  in-process serial path with a one-time :class:`RuntimeWarning` — mirroring
+  the numpy-free backend degradation.  Results are unchanged either way.
+
+Pools are persistent and shared per worker count; they shut down atexit or
+via :func:`shutdown_pools`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import pickle
+import random
+import warnings
+import weakref
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.kernels import KERNELS
+from repro.exec.policy import ExecutionPolicy
+from repro.exec.serial import Executor, serial_executor
+
+#: Test hook: set to True to simulate a platform without shared memory.
+_DISABLE_SHARED_MEMORY = False
+
+#: Parent-side bound on simultaneously published payloads per pool (older
+#: publications are unlinked and republished on demand).
+_PUBLISH_BOUND = 4
+
+#: Worker-side bound on cached attached payloads.
+_WORKER_CACHE_BOUND = 4
+
+
+class ExecutorUnavailable(RuntimeError):
+    """Raised when a worker pool (or a payload shipment) cannot be set up."""
+
+
+def _require_shared_memory():
+    """Import ``multiprocessing.shared_memory`` or explain why we cannot."""
+    if _DISABLE_SHARED_MEMORY:
+        raise ExecutorUnavailable("multiprocessing.shared_memory is disabled")
+    try:
+        from multiprocessing import shared_memory
+    except ImportError as error:  # pragma: no cover - platform-specific
+        raise ExecutorUnavailable(
+            f"multiprocessing.shared_memory is unavailable: {error}"
+        ) from error
+    return shared_memory
+
+
+# ----------------------------------------------------------------- descriptors
+
+
+@dataclass(frozen=True)
+class _ShmArray:
+    """One shared-memory segment holding a flat array (or a pickle blob)."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    size: int = 0  # used bytes for pickle blobs (segments round up)
+
+
+@dataclass(frozen=True)
+class SnapshotDescriptor:
+    """What a worker needs to reconstruct a shipped payload.
+
+    ``kind`` is ``"csr"`` (three array segments + node count) or ``"pickle"``
+    (one blob segment holding a pickled :class:`SignedGraph`).  The
+    ``publish_id`` is unique per publication, which is what worker-side caches
+    key on — a republished (mutated) payload always gets a fresh id.
+    """
+
+    publish_id: int
+    kind: str
+    segments: Tuple[_ShmArray, ...]
+    num_nodes: int = 0
+
+
+# ------------------------------------------------------------------ worker side
+
+#: Worker-process cache: publish_id -> (payload object, open shm handles).
+_WORKER_PAYLOADS: "OrderedDict[int, Tuple[object, list]]" = OrderedDict()
+
+#: Attachments whose buffers may still be referenced by evicted payloads; kept
+#: open (bounded by _WORKER_CACHE_BOUND evictions per snapshot size class).
+_RETIRED_HANDLES: List[object] = []
+
+
+def _init_worker() -> None:
+    """Pool initializer: keep workers quiet on Ctrl-C (the parent handles it)."""
+    import signal
+
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+
+def _untrack_attachment(shm) -> None:
+    """Stop a spawn-mode worker's resource tracker from owning an attachment.
+
+    The parent process owns every segment (it created it and unlinks it).
+    Under ``spawn`` each worker runs its *own* resource tracker, and the
+    attach-time registration would make that tracker unlink the segment when
+    the worker exits — out from under the parent.  Under ``fork`` (and
+    ``forkserver``) the tracker process is shared with the parent, duplicate
+    registrations collapse in its name set, and unregistering here would
+    instead erase the parent's accounting — so we leave it alone.
+    """
+    try:  # pragma: no cover - accounting only, behaviourally invisible
+        import multiprocessing as mp
+        from multiprocessing import resource_tracker
+
+        if mp.get_start_method(allow_none=True) != "spawn":
+            return
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _attach_payload(descriptor: SnapshotDescriptor):
+    """Reconstruct (or fetch from cache) the payload behind ``descriptor``."""
+    cached = _WORKER_PAYLOADS.get(descriptor.publish_id)
+    if cached is not None:
+        _WORKER_PAYLOADS.move_to_end(descriptor.publish_id)
+        return cached[0]
+    shared_memory = _require_shared_memory()
+    if descriptor.kind == "csr":
+        import numpy as np
+
+        from repro.signed.csr import CSRSignedGraph
+
+        handles = []
+        arrays = []
+        for spec in descriptor.segments:
+            shm = shared_memory.SharedMemory(name=spec.name)
+            _untrack_attachment(shm)
+            handles.append(shm)
+            arrays.append(
+                np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+            )
+        indptr, indices, signs = arrays
+        # Dense placeholder nodes: the csr_* kernels only ever touch the flat
+        # arrays and dense ids, so the worker never needs the real node
+        # objects (which may not even be picklable).
+        payload = CSRSignedGraph(
+            indptr,
+            indices,
+            signs,
+            nodes=list(range(descriptor.num_nodes)),
+            index={},
+        )
+    else:
+        spec = descriptor.segments[0]
+        shm = shared_memory.SharedMemory(name=spec.name)
+        _untrack_attachment(shm)
+        payload = pickle.loads(bytes(shm.buf[: spec.size]))
+        shm.close()
+        handles = []
+    _WORKER_PAYLOADS[descriptor.publish_id] = (payload, handles)
+    while len(_WORKER_PAYLOADS) > _WORKER_CACHE_BOUND:
+        _, (_old_payload, old_handles) = _WORKER_PAYLOADS.popitem(last=False)
+        for handle in old_handles:
+            try:
+                handle.close()
+            except BufferError:  # a stray view still references the buffer
+                _RETIRED_HANDLES.append(handle)
+    return payload
+
+
+def _chunk_seed(base_seed: int, chunk_index: int) -> int:
+    """Deterministic per-chunk RNG seed, independent of worker assignment."""
+    return (1_000_003 * (base_seed + 1) + chunk_index) & 0x7FFF_FFFF
+
+
+def _run_chunk(task):
+    """Worker entry point: attach the payload, seed, run one kernel chunk."""
+    descriptor, kernel_name, sources, params, chunk_index, base_seed = task
+    payload = _attach_payload(descriptor)
+    random.seed(_chunk_seed(base_seed, chunk_index))
+    return KERNELS[kernel_name](payload, sources, params)
+
+
+# ------------------------------------------------------------------ parent side
+
+
+class _Published:
+    """Parent-side record of one shipped payload."""
+
+    __slots__ = ("descriptor", "handles", "generation", "ref")
+
+    def __init__(self, descriptor, handles, generation, ref) -> None:
+        self.descriptor = descriptor
+        self.handles = handles
+        self.generation = generation
+        self.ref = ref
+
+
+class _PoolHandle:
+    """One persistent worker pool plus its published-payload registry.
+
+    Handles are shared per worker count across every
+    :class:`ProcessPoolExecutor` bound to a policy with that count, so a
+    relation, its oracle and its engine all ship each snapshot exactly once.
+    """
+
+    def __init__(self, workers: int) -> None:
+        _require_shared_memory()  # fail fast before forking anything
+        import multiprocessing as mp
+
+        try:
+            # Start the parent's resource tracker *before* forking workers:
+            # forked workers then inherit it, so their attach-time
+            # registrations land in the tracker that also sees the parent's
+            # create/unlink — one shared ledger instead of per-worker
+            # trackers that would mis-report the parent's segments as leaked.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker is an optimisation here
+            pass
+        try:
+            context = mp.get_context()
+            self.pool = context.Pool(processes=workers, initializer=_init_worker)
+        except (ImportError, OSError, ValueError) as error:
+            raise ExecutorUnavailable(f"cannot start a worker pool: {error}") from error
+        self.workers = workers
+        self.closed = False
+        self.published: Dict[int, _Published] = {}
+        self.publish_order: deque = deque()
+        #: id(payload) -> weakref of payloads whose shipment failed (e.g.
+        #: unpicklable nodes); they run serially without re-warning.  The
+        #: weakref guards against CPython id reuse: a *new* object at a
+        #: recycled address must not inherit the failure.
+        self.failed_payloads: Dict[int, Optional[weakref.ref]] = {}
+        self._next_publish_id = 0
+
+    def mark_failed(self, payload) -> None:
+        """Remember that ``payload`` cannot be shipped (serial from now on)."""
+        key = id(payload)
+        try:
+            ref: Optional[weakref.ref] = weakref.ref(
+                payload, lambda _ref, key=key: self.failed_payloads.pop(key, None)
+            )
+        except TypeError:  # pragma: no cover - non-weakrefable payload type
+            ref = None
+        self.failed_payloads[key] = ref
+
+    def is_failed(self, payload) -> bool:
+        """True iff this very object (not a recycled id) failed to ship."""
+        key = id(payload)
+        if key not in self.failed_payloads:
+            return False
+        ref = self.failed_payloads[key]
+        if ref is None:
+            return True
+        if ref() is payload:
+            return True
+        # Stale entry surviving a not-yet-fired callback: drop it.
+        self.failed_payloads.pop(key, None)
+        return False
+
+    # ------------------------------------------------------------- publishing
+
+    def publish(self, payload) -> SnapshotDescriptor:
+        """Ship ``payload`` to the workers (reusing a live publication).
+
+        A publication is reused only while the payload object is the same
+        *and* its ``generation`` is unchanged — a churn batch on a
+        :class:`SignedGraph`, or the fresh snapshot it produces, republishes
+        automatically (the generation check of the tentpole).
+        """
+        key = id(payload)
+        generation = getattr(payload, "generation", None)
+        entry = self.published.get(key)
+        if (
+            entry is not None
+            and entry.ref() is payload
+            and entry.generation == generation
+        ):
+            return entry.descriptor
+        if entry is not None:
+            self.release(key)
+        try:
+            descriptor, handles = self._build(payload)
+        except ExecutorUnavailable:
+            raise
+        except Exception as error:
+            raise ExecutorUnavailable(f"cannot ship payload to workers: {error}") from error
+        self.published[key] = _Published(
+            descriptor,
+            handles,
+            generation,
+            weakref.ref(payload, lambda _ref, key=key: self.release(key)),
+        )
+        # Invariant: publish_order holds each *live* key exactly once, oldest
+        # publish first.  A republish (same object, new generation) moves its
+        # key to the back instead of duplicating it, and keys whose
+        # publication died (weakref callback) are dropped — so the bound below
+        # counts live publications, never the one just created.
+        if key in self.publish_order:
+            self.publish_order.remove(key)
+        self.publish_order.append(key)
+        if len(self.publish_order) > len(self.published):
+            self.publish_order = deque(
+                k for k in self.publish_order if k in self.published
+            )
+        while len(self.publish_order) > _PUBLISH_BOUND:
+            self.release(self.publish_order.popleft())
+        return descriptor
+
+    def _build(self, payload) -> Tuple[SnapshotDescriptor, list]:
+        shared_memory = _require_shared_memory()
+        publish_id = self._next_publish_id
+        self._next_publish_id += 1
+        from repro.signed.graph import SignedGraph
+
+        if isinstance(payload, SignedGraph):
+            # copy() strips the CSR cache, delta log and touched-node maps —
+            # workers only need the adjacency (same dict insertion order, so
+            # dict-kernel traversal order is bit-identical to the parent's).
+            blob = pickle.dumps(payload.copy(), protocol=pickle.HIGHEST_PROTOCOL)
+            # Dict kernels receive *sources pickled per task*, so they only
+            # work when unpickled node copies compare equal to the originals
+            # (value semantics: ints, strings, tuples, value dataclasses).
+            # Nodes with identity-based __eq__/__hash__ pickle fine but would
+            # miss every lookup inside the worker — probe a sample and refuse
+            # the shipment so the policy degrades to serial instead.
+            roundtrip = pickle.loads(blob)
+            import itertools
+
+            for node in itertools.islice(payload._adjacency, 16):
+                if node not in roundtrip._adjacency:
+                    raise ExecutorUnavailable(
+                        "graph nodes do not survive pickling with value "
+                        f"equality (e.g. {node!r}); dict-backend pool "
+                        "execution needs value-semantic nodes"
+                    )
+            shm = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+            shm.buf[: len(blob)] = blob
+            descriptor = SnapshotDescriptor(
+                publish_id=publish_id,
+                kind="pickle",
+                segments=(_ShmArray(shm.name, (), "B", len(blob)),),
+            )
+            return descriptor, [shm]
+        # Anything else is a CSR snapshot: ship the three flat arrays zero-copy.
+        import numpy as np
+
+        segments = []
+        handles = []
+        for array in (payload.indptr, payload.indices, payload.signs):
+            array = np.ascontiguousarray(array)
+            shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[...] = array
+            del view
+            segments.append(_ShmArray(shm.name, array.shape, array.dtype.str))
+            handles.append(shm)
+        descriptor = SnapshotDescriptor(
+            publish_id=publish_id,
+            kind="csr",
+            segments=tuple(segments),
+            num_nodes=payload.number_of_nodes(),
+        )
+        return descriptor, handles
+
+    def release(self, key: int) -> None:
+        """Unlink one publication (workers keep their mapped copies working)."""
+        entry = self.published.pop(key, None)
+        if entry is None:
+            return
+        for shm in entry.handles:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def release_all(self) -> None:
+        """Unlink every publication (next dispatch republishes)."""
+        for key in list(self.published):
+            self.release(key)
+
+    # --------------------------------------------------------------- shutdown
+
+    def shutdown(self) -> None:
+        """Terminate the pool and unlink every shared-memory segment."""
+        if self.closed:
+            return
+        self.closed = True
+        self.release_all()
+        try:
+            self.pool.terminate()
+            self.pool.join()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+_POOL_HANDLES: Dict[int, _PoolHandle] = {}
+
+
+def _shared_pool_handle(workers: int) -> _PoolHandle:
+    """The persistent pool of ``workers`` processes (created on first use)."""
+    handle = _POOL_HANDLES.get(workers)
+    if handle is None or handle.closed:
+        handle = _PoolHandle(workers)
+        _POOL_HANDLES[workers] = handle
+    return handle
+
+
+def shutdown_pools() -> None:
+    """Terminate every pool and unlink all shared memory (atexit-safe)."""
+    for handle in list(_POOL_HANDLES.values()):
+        handle.shutdown()
+    _POOL_HANDLES.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+class ProcessPoolExecutor(Executor):
+    """Dispatch kernel batches over a persistent pool of worker processes.
+
+    Bound to one :class:`~repro.exec.policy.ExecutionPolicy` (for worker
+    count, chunk size, dispatch threshold and seed); the underlying OS pool
+    and the published snapshots are shared across executors with the same
+    worker count.  Every result list is bit-identical to
+    :class:`~repro.exec.serial.SerialExecutor` on the same inputs — the pool
+    only changes *where* the pure kernels run.
+    """
+
+    def __init__(self, policy: ExecutionPolicy) -> None:
+        self._policy = policy
+        self.workers = policy.resolved_workers()
+        self._handle = _shared_pool_handle(self.workers)
+        self._warned = False
+
+    @property
+    def closed(self) -> bool:
+        """True once the underlying pool has been shut down."""
+        return self._handle.closed
+
+    def _degrade(self, stage: str, error: Exception) -> None:
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"parallel execution degraded to serial ({stage}: {error})",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    def map_kernel(
+        self,
+        kernel: str,
+        payload,
+        sources: Sequence,
+        params: Optional[dict] = None,
+    ) -> List:
+        source_list = list(sources)
+        if not source_list:
+            return []
+        handle = self._handle
+        if (
+            handle.closed
+            or len(source_list) < max(2, self._policy.min_parallel_sources)
+            or handle.is_failed(payload)
+        ):
+            return serial_executor().map_kernel(kernel, payload, source_list, params)
+        try:
+            descriptor = handle.publish(payload)
+        except ExecutorUnavailable as error:
+            handle.mark_failed(payload)
+            self._degrade("publish", error)
+            return serial_executor().map_kernel(kernel, payload, source_list, params)
+        chunk = self._policy.chunk_size or max(
+            1, math.ceil(len(source_list) / (self.workers * 4))
+        )
+        shared_params = dict(params or {})
+        tasks = [
+            (
+                descriptor,
+                kernel,
+                source_list[start : start + chunk],
+                shared_params,
+                index,
+                self._policy.seed,
+            )
+            for index, start in enumerate(range(0, len(source_list), chunk))
+        ]
+        try:
+            # Pool.map returns results in *task* order whatever the completion
+            # order, so the concatenation below is deterministic by design.
+            chunk_results = handle.pool.map(_run_chunk, tasks, chunksize=1)
+        except (OSError, EOFError) as error:
+            handle.shutdown()
+            self._degrade("dispatch", error)
+            return serial_executor().map_kernel(kernel, payload, source_list, params)
+        return [result for chunk_result in chunk_results for result in chunk_result]
+
+    def invalidate(self) -> None:
+        """Unlink every published snapshot (the next dispatch republishes)."""
+        self._handle.release_all()
+
+    def close(self) -> None:
+        """Shut down the shared pool this executor dispatches to."""
+        self._handle.shutdown()
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolExecutor(workers={self.workers}, closed={self.closed})"

@@ -37,6 +37,22 @@ class DatasetConfig:
     #: "auto" (CSR on large low-diameter graphs), "dict" (reference
     #: implementation) or "csr" (always indexed).
     sp_backend: str = "auto"
+    #: Worker processes for the per-source kernel sweeps (0/1 = serial, the
+    #: default, so existing invocations are unchanged; >= 2 dispatches to a
+    #: process pool; -1 = one per CPU).  Results are identical either way.
+    workers: int = 0
+    #: Sources per worker task (None derives one from batch size and workers).
+    chunk_size: Optional[int] = None
+
+    def execution_policy(self) -> "ExecutionPolicy":
+        """The :class:`~repro.exec.ExecutionPolicy` for this dataset's stacks."""
+        from repro.exec import ExecutionPolicy
+
+        return ExecutionPolicy(
+            backend=self.sp_backend,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+        )
 
 
 @dataclass(frozen=True)
@@ -69,6 +85,24 @@ class ExperimentConfig:
             if dataset.name == name:
                 return dataset
         raise KeyError(f"dataset {name!r} is not part of this configuration")
+
+    def with_execution(
+        self, workers: int = 0, chunk_size: Optional[int] = None
+    ) -> "ExperimentConfig":
+        """A copy of this configuration with execution knobs applied everywhere.
+
+        Sets ``workers`` / ``chunk_size`` on every dataset, so each relation
+        stack the experiments build runs its per-source kernel sweeps under
+        the corresponding :class:`~repro.exec.ExecutionPolicy`.  The CLI's
+        ``--workers`` / ``--chunk-size`` flags route through this.
+        """
+        return replace(
+            self,
+            datasets=tuple(
+                replace(dataset, workers=workers, chunk_size=chunk_size)
+                for dataset in self.datasets
+            ),
+        )
 
     @property
     def dataset_names(self) -> Tuple[str, ...]:

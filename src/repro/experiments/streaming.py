@@ -52,6 +52,12 @@ class StreamingConfig:
     relation: str = "SPO"
     #: Backend for the relation (``"auto"``, ``"dict"`` or ``"csr"``).
     backend: str = "auto"
+    #: Worker processes for the per-source kernel sweeps (0/1 = serial, the
+    #: default; >= 2 dispatches to a persistent process pool whose shipped
+    #: snapshots are invalidated automatically on every generation bump).
+    workers: int = 0
+    #: Sources per worker task (None derives one per dispatch).
+    chunk_size: Optional[int] = None
     #: Deterministic algorithms evaluated each round.
     algorithms: Tuple[str, ...] = ("LCMD", "LCMC", "RFMD", "RFMC")
     #: Number of churn+query rounds.
@@ -223,7 +229,14 @@ def run_streaming(
         config.dataset, seed=config.dataset_seed, scale=config.scale
     )
     graph = dataset.graph
-    relation = make_relation(config.relation, graph, backend=config.backend)
+    from repro.exec import ExecutionPolicy
+
+    policy = ExecutionPolicy(
+        backend=config.backend,
+        workers=config.workers,
+        chunk_size=config.chunk_size,
+    )
+    relation = make_relation(config.relation, graph, policy=policy)
     oracle = DistanceOracle(relation)
     engine = CompatibilityEngine(relation, oracle=oracle)
     skill_index = SkillCompatibilityIndex(relation, dataset.skills, count_cap=None)

@@ -55,16 +55,22 @@ class DatasetContext:
         return self.dataset.name
 
     def relation_context(self, relation_name: str) -> RelationContext:
-        """Build (or reuse) the relation called ``relation_name`` on this dataset."""
+        """Build (or reuse) the relation called ``relation_name`` on this dataset.
+
+        The whole stack (relation, oracle, engine) is built under the dataset
+        config's :meth:`~repro.experiments.config.DatasetConfig.execution_policy`,
+        so backend choice and worker-pool parallelism flow from one place
+        instead of per-layer keyword arguments.
+        """
         key = relation_name.upper()
         context = self._relations.get(key)
         if context is None:
             kwargs = {}
             if key in ("SBP", "SBPH"):
                 kwargs["max_expansions"] = self.config.sbp_max_expansions
-            if key in ("SPA", "SPM", "SPO", "SBPH"):
-                kwargs["backend"] = self.config.sp_backend
-            relation = make_relation(key, self.dataset.graph, **kwargs)
+            relation = make_relation(
+                key, self.dataset.graph, policy=self.config.execution_policy(), **kwargs
+            )
             oracle = DistanceOracle(relation)
             context = RelationContext(
                 relation=relation,

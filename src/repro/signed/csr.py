@@ -95,7 +95,9 @@ class CSRSignedGraph:
         ``int8`` array parallel to ``indices`` holding the edge labels.
     """
 
-    __slots__ = ("indptr", "indices", "signs", "generation", "_nodes", "_index")
+    # __weakref__ lets the execution layer key published shared-memory
+    # snapshots on the graph object itself (repro.exec.pool).
+    __slots__ = ("indptr", "indices", "signs", "generation", "_nodes", "_index", "__weakref__")
 
     def __init__(
         self,
@@ -427,26 +429,17 @@ def _concatenated_neighbor_ranges(
     return csr.indices[offsets], csr.signs[offsets], np.repeat(frontier, counts), counts
 
 
-def signed_bfs_csr(csr: CSRSignedGraph, source: Node) -> CSRSignedBFSResult:
-    """Algorithm 1 on the CSR backend: signed shortest-path counting.
+def _signed_bfs_arrays(
+    csr: CSRSignedGraph, source_id: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dense core of :func:`signed_bfs_csr`: arrays in, arrays out.
 
-    A level-synchronous BFS: each iteration gathers the concatenated adjacency
-    of the whole frontier, discovers the next level, and scatters the signed
-    count contributions with ``np.add.at`` (positive edges preserve the counts,
-    negative edges swap them).  Work per level is a handful of O(frontier
-    edges) array operations, so the full traversal is O(|V| + |E|) with
-    constant factors one to two orders of magnitude below the dict BFS.
-
-    Counts are ``int64``.  A per-level guard raises :class:`OverflowError`
-    *before* any count can wrap: as long as every count entering a level is at
-    most ``(2**63 - 1) / max_degree``, no target's accumulated sum can exceed
-    ``int64`` during that level, so the check below (applied after each level)
-    catches the overflow while all values are still exact.  Callers that hit
-    the guard should fall back to the dict backend's arbitrary-precision
-    integers (:func:`repro.signed.paths.signed_bfs`) — the relations do this
-    automatically.
+    Takes a *dense* source id and touches only the snapshot's flat arrays —
+    never the node list or index — so it runs unchanged inside worker
+    processes that received the snapshot through shared memory without the
+    (arbitrary, possibly unpicklable) node objects.  Returns
+    ``(lengths, positive, negative)``.
     """
-    source_id = csr.index_of(source)
     num_nodes = csr.number_of_nodes()
     degrees = csr.degrees()
     max_degree = int(degrees.max()) if num_nodes else 0
@@ -490,6 +483,29 @@ def signed_bfs_csr(csr: CSRSignedGraph, source: Node) -> CSRSignedBFSResult:
                 )
         frontier = _next_frontier(targets, lengths, depth + 1)
         depth += 1
+    return lengths, positive, negative
+
+
+def signed_bfs_csr(csr: CSRSignedGraph, source: Node) -> CSRSignedBFSResult:
+    """Algorithm 1 on the CSR backend: signed shortest-path counting.
+
+    A level-synchronous BFS: each iteration gathers the concatenated adjacency
+    of the whole frontier, discovers the next level, and scatters the signed
+    count contributions with ``np.add.at`` (positive edges preserve the counts,
+    negative edges swap them).  Work per level is a handful of O(frontier
+    edges) array operations, so the full traversal is O(|V| + |E|) with
+    constant factors one to two orders of magnitude below the dict BFS.
+
+    Counts are ``int64``.  A per-level guard raises :class:`OverflowError`
+    *before* any count can wrap: as long as every count entering a level is at
+    most ``(2**63 - 1) / max_degree``, no target's accumulated sum can exceed
+    ``int64`` during that level, so the check (applied after each level)
+    catches the overflow while all values are still exact.  Callers that hit
+    the guard should fall back to the dict backend's arbitrary-precision
+    integers (:func:`repro.signed.paths.signed_bfs`) — the relations do this
+    automatically.
+    """
+    lengths, positive, negative = _signed_bfs_arrays(csr, csr.index_of(source))
     return CSRSignedBFSResult(
         source=source,
         graph=csr,
@@ -499,13 +515,8 @@ def signed_bfs_csr(csr: CSRSignedGraph, source: Node) -> CSRSignedBFSResult:
     )
 
 
-def shortest_path_lengths_csr(csr: CSRSignedGraph, source: Node) -> np.ndarray:
-    """Sign-agnostic BFS distances from ``source`` as a dense ``int32`` array.
-
-    Unreachable nodes hold :data:`UNREACHABLE`; wrap with :class:`CSRLengths`
-    for a dict-like view keyed by original node objects.
-    """
-    source_id = csr.index_of(source)
+def _shortest_path_lengths_array(csr: CSRSignedGraph, source_id: int) -> np.ndarray:
+    """Dense core of :func:`shortest_path_lengths_csr` (dense id in, array out)."""
     lengths = np.full(csr.number_of_nodes(), UNREACHABLE, dtype=np.int32)
     lengths[source_id] = 0
     frontier = np.array([source_id], dtype=np.int64)
@@ -519,6 +530,15 @@ def shortest_path_lengths_csr(csr: CSRSignedGraph, source: Node) -> np.ndarray:
         frontier = _next_frontier(undiscovered, lengths, depth + 1)
         depth += 1
     return lengths
+
+
+def shortest_path_lengths_csr(csr: CSRSignedGraph, source: Node) -> np.ndarray:
+    """Sign-agnostic BFS distances from ``source`` as a dense ``int32`` array.
+
+    Unreachable nodes hold :data:`UNREACHABLE`; wrap with :class:`CSRLengths`
+    for a dict-like view keyed by original node objects.
+    """
+    return _shortest_path_lengths_array(csr, csr.index_of(source))
 
 
 def shortest_signed_walk_lengths_csr(
@@ -649,6 +669,64 @@ def _batched_signed_bfs_arrays(
     )
 
 
+#: One per-source kernel output: ``(lengths, positive, negative)`` arrays, or
+#: ``None`` marking an int64 overflow the caller resolves on the dict backend.
+DenseBFSTriple = Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+
+
+def signed_bfs_dense_batch(
+    csr: CSRSignedGraph,
+    source_ids: Sequence[int],
+    chunk_size: int = DEFAULT_BATCH_CHUNK,
+    skip_overflow: bool = False,
+    lockstep_threshold: Optional[int] = None,
+) -> List[DenseBFSTriple]:
+    """Dense core of :func:`multi_source_signed_bfs`: dense ids in, arrays out.
+
+    Works purely on the snapshot's flat arrays (no node objects), which is
+    what lets the execution layer run it inside worker processes against a
+    shared-memory copy of the snapshot.  ``lockstep_threshold`` overrides
+    :data:`LOCKSTEP_NODE_THRESHOLD` (``None`` keeps the module default).
+    Results are in input order and bit-identical to per-source
+    :func:`_signed_bfs_arrays` runs.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    threshold = (
+        LOCKSTEP_NODE_THRESHOLD if lockstep_threshold is None else lockstep_threshold
+    )
+    id_list = list(source_ids)
+    results: List[DenseBFSTriple] = []
+
+    def per_source(source_id: int) -> None:
+        try:
+            results.append(_signed_bfs_arrays(csr, source_id))
+        except OverflowError:
+            if not skip_overflow:
+                raise
+            results.append(None)
+
+    if csr.number_of_nodes() > threshold:
+        for source_id in id_list:
+            per_source(source_id)
+        return results
+    for start in range(0, len(id_list), chunk_size):
+        chunk = id_list[start : start + chunk_size]
+        try:
+            lengths, positive, negative = _batched_signed_bfs_arrays(csr, chunk)
+        except OverflowError:
+            for source_id in chunk:
+                per_source(source_id)
+            continue
+        for row in range(len(chunk)):
+            # Rows are copied out of the chunk buffer, so holding one result
+            # does not pin the whole k x n allocation.
+            results.append(
+                (lengths[row].copy(), positive[row].copy(), negative[row].copy())
+            )
+    return results
+
+
 def multi_source_signed_bfs(
     csr: CSRSignedGraph,
     sources: Sequence[Node],
@@ -665,8 +743,7 @@ def multi_source_signed_bfs(
     out of cache and lose to the cache-resident per-source traversals — each
     source runs its own vectorised BFS over the shared index.  Either way the
     results come back in input order and are bit-identical to per-source
-    :func:`signed_bfs_csr` runs (lockstep row arrays are copied out of the
-    chunk buffer, so holding one result does not pin the whole chunk).
+    :func:`signed_bfs_csr` runs.
 
     A chunk whose counts trip the int64 guard is re-run source by source; a
     source that *individually* overflows then raises :class:`OverflowError`
@@ -674,72 +751,53 @@ def multi_source_signed_bfs(
     and the caller is expected to fall back to the dict backend's
     arbitrary-precision BFS for it.
     """
-    if chunk_size <= 0:
-        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     source_list = list(sources)
-    results: List[Optional[CSRSignedBFSResult]] = []
-    if csr.number_of_nodes() > LOCKSTEP_NODE_THRESHOLD:
-        for source in source_list:
-            try:
-                results.append(signed_bfs_csr(csr, source))
-            except OverflowError:
-                if not skip_overflow:
-                    raise
-                results.append(None)
-        return results
-    for start in range(0, len(source_list), chunk_size):
-        chunk = source_list[start : start + chunk_size]
-        ids = [csr.index_of(source) for source in chunk]
-        try:
-            lengths, positive, negative = _batched_signed_bfs_arrays(csr, ids)
-        except OverflowError:
-            for source in chunk:
-                try:
-                    results.append(signed_bfs_csr(csr, source))
-                except OverflowError:
-                    if not skip_overflow:
-                        raise
-                    results.append(None)
-            continue
-        for row, source in enumerate(chunk):
-            results.append(
-                CSRSignedBFSResult(
-                    source=source,
-                    graph=csr,
-                    lengths_array=lengths[row].copy(),
-                    positive_array=positive[row].copy(),
-                    negative_array=negative[row].copy(),
-                )
-            )
-    return results
+    triples = signed_bfs_dense_batch(
+        csr,
+        [csr.index_of(source) for source in source_list],
+        chunk_size=chunk_size,
+        skip_overflow=skip_overflow,
+    )
+    return [
+        None
+        if triple is None
+        else CSRSignedBFSResult(
+            source=source,
+            graph=csr,
+            lengths_array=triple[0],
+            positive_array=triple[1],
+            negative_array=triple[2],
+        )
+        for source, triple in zip(source_list, triples)
+    ]
 
 
-def multi_source_shortest_path_lengths_csr(
+def shortest_path_lengths_dense_batch(
     csr: CSRSignedGraph,
-    sources: Sequence[Node],
+    source_ids: Sequence[int],
     chunk_size: int = DEFAULT_BATCH_CHUNK,
+    lockstep_threshold: Optional[int] = None,
 ) -> List[np.ndarray]:
-    """Sign-agnostic BFS distances from many sources over one shared index.
+    """Dense core of :func:`multi_source_shortest_path_lengths_csr`.
 
-    The flat-state counterpart of :func:`shortest_path_lengths_csr`: on graphs
-    up to :data:`LOCKSTEP_NODE_THRESHOLD` nodes all sources of a chunk advance
-    together, one adjacency gather per level; larger graphs run per-source
-    traversals (same cache-locality crossover as
-    :func:`multi_source_signed_bfs`).  Returns one dense ``int32`` length
-    array per source, in input order (:data:`UNREACHABLE` marks unreachable
-    nodes; wrap with :class:`CSRLengths` for a dict-like view).
+    Dense ids in, one ``int32`` length array per source out; node objects are
+    never touched, so the execution layer can run it in worker processes over
+    a shared-memory snapshot.  ``lockstep_threshold`` overrides
+    :data:`LOCKSTEP_NODE_THRESHOLD` (``None`` keeps the module default).
     """
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
-    source_list = list(sources)
+    threshold = (
+        LOCKSTEP_NODE_THRESHOLD if lockstep_threshold is None else lockstep_threshold
+    )
+    id_list = list(source_ids)
     num_nodes = csr.number_of_nodes()
-    if num_nodes > LOCKSTEP_NODE_THRESHOLD:
-        return [shortest_path_lengths_csr(csr, source) for source in source_list]
+    if num_nodes > threshold:
+        return [_shortest_path_lengths_array(csr, source_id) for source_id in id_list]
     results: List[np.ndarray] = []
-    for start in range(0, len(source_list), chunk_size):
-        chunk = source_list[start : start + chunk_size]
-        ids = [csr.index_of(source) for source in chunk]
-        k = len(chunk)
+    for start in range(0, len(id_list), chunk_size):
+        ids = id_list[start : start + chunk_size]
+        k = len(ids)
         lengths = np.full(k * num_nodes, UNREACHABLE, dtype=np.int32)
         flat_sources = (
             np.arange(k, dtype=np.int64) * num_nodes
@@ -761,6 +819,28 @@ def multi_source_shortest_path_lengths_csr(
         grid = lengths.reshape(k, num_nodes)
         results.extend(grid[row].copy() for row in range(k))
     return results
+
+
+def multi_source_shortest_path_lengths_csr(
+    csr: CSRSignedGraph,
+    sources: Sequence[Node],
+    chunk_size: int = DEFAULT_BATCH_CHUNK,
+) -> List[np.ndarray]:
+    """Sign-agnostic BFS distances from many sources over one shared index.
+
+    The flat-state counterpart of :func:`shortest_path_lengths_csr`: on graphs
+    up to :data:`LOCKSTEP_NODE_THRESHOLD` nodes all sources of a chunk advance
+    together, one adjacency gather per level; larger graphs run per-source
+    traversals (same cache-locality crossover as
+    :func:`multi_source_signed_bfs`).  Returns one dense ``int32`` length
+    array per source, in input order (:data:`UNREACHABLE` marks unreachable
+    nodes; wrap with :class:`CSRLengths` for a dict-like view).
+    """
+    return shortest_path_lengths_dense_batch(
+        csr,
+        [csr.index_of(source) for source in sources],
+        chunk_size=chunk_size,
+    )
 
 
 def _extend_camps_csr(
@@ -830,6 +910,43 @@ def _hub_camp_check(
     return lowest == int(implied.max()), lowest
 
 
+def balanced_heuristic_depths(
+    csr: CSRSignedGraph, source_id: int, max_length: Optional[int] = None
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Dense core of :func:`balanced_heuristic_search_csr`.
+
+    Takes a dense source id and returns ``(positive_depths, negative_depths)``
+    keyed by dense node ids — no node objects are touched, so the execution
+    layer can run the search in worker processes over a shared-memory
+    snapshot and remap the depths to node objects in the parent.
+    """
+    return _balanced_heuristic_depths(csr, source_id, max_length)
+
+
+def balanced_result_from_depths(
+    csr: CSRSignedGraph,
+    source: Node,
+    positive_depths: Dict[int, int],
+    negative_depths: Dict[int, int],
+    max_length: Optional[int] = None,
+) -> BalancedPathResult:
+    """Re-key dense SBPH depth maps to node objects as a :class:`BalancedPathResult`.
+
+    The single place the dense search output (``balanced_heuristic_depths``,
+    local or shipped back from a worker) becomes the node-keyed result the
+    relations cache — keeping the bound rule and the remap in one spot so the
+    serial and pooled paths cannot drift apart.
+    """
+    nodes = csr._nodes
+    bound = max_length if max_length is not None else csr.number_of_nodes() - 1
+    result = BalancedPathResult(source=source, exact=False, max_length=bound)
+    for dense, length in positive_depths.items():
+        result.positive_lengths[nodes[dense]] = length
+    for dense, length in negative_depths.items():
+        result.negative_lengths[nodes[dense]] = length
+    return result
+
+
 def balanced_heuristic_search_csr(
     csr: CSRSignedGraph, source: Node, max_length: Optional[int] = None
 ) -> BalancedPathResult:
@@ -852,9 +969,19 @@ def balanced_heuristic_search_csr(
     :meth:`repro.signed.paths.BalancedPathSearch.search_heuristic` — same
     representative per state, same recorded path lengths.
     """
+    positive_depths, negative_depths = _balanced_heuristic_depths(
+        csr, csr.index_of(source), max_length
+    )
+    return balanced_result_from_depths(
+        csr, source, positive_depths, negative_depths, max_length
+    )
+
+
+def _balanced_heuristic_depths(
+    csr: CSRSignedGraph, source_id: int, max_length: Optional[int] = None
+) -> Tuple[Dict[int, int], Dict[int, int]]:
     if max_length is not None and max_length < 0:
         raise ValueError(f"max_length must be non-negative, got {max_length}")
-    source_id = csr.index_of(source)
     num_nodes = csr.number_of_nodes()
     bound = max_length if max_length is not None else num_nodes - 1
     claimed = np.zeros(2 * num_nodes, dtype=bool)
@@ -950,13 +1077,7 @@ def balanced_heuristic_search_csr(
             next_frontier.append(t_state)
         frontier = next_frontier
         depth += 1
-    nodes = csr._nodes
-    result = BalancedPathResult(source=source, exact=False, max_length=bound)
-    for dense, length in positive_depths.items():
-        result.positive_lengths[nodes[dense]] = length
-    for dense, length in negative_depths.items():
-        result.negative_lengths[nodes[dense]] = length
-    return result
+    return positive_depths, negative_depths
 
 
 class CSRLengths:

@@ -18,6 +18,30 @@ class TestParser:
         assert parser.parse_args(["compatibility", "toy"]).command == "compatibility"
         assert parser.parse_args(["team", "toy", "python"]).command == "team"
         assert parser.parse_args(["reproduce", "--fast"]).fast is True
+        assert parser.parse_args(["table2", "--fast"]).command == "table2"
+        assert parser.parse_args(["figure2", "--panels", "ab"]).panels == "ab"
+
+    def test_execution_flags_default_to_serial(self):
+        parser = build_parser()
+        for argv in (
+            ["table2"],
+            ["figure2"],
+            ["reproduce"],
+            ["streaming", "toy"],
+        ):
+            arguments = parser.parse_args(argv)
+            assert arguments.workers == 0
+            assert arguments.chunk_size is None
+
+    def test_execution_flags_parse(self):
+        parser = build_parser()
+        arguments = parser.parse_args(
+            ["table2", "--fast", "--workers", "4", "--chunk-size", "16"]
+        )
+        assert arguments.workers == 4
+        assert arguments.chunk_size == 16
+        arguments = parser.parse_args(["streaming", "toy", "--workers", "2"])
+        assert arguments.workers == 2
 
 
 class TestDatasetsCommand:

@@ -1,0 +1,452 @@
+"""Tests for the execution-policy layer (:mod:`repro.exec`).
+
+The load-bearing guarantee is *bit-identity*: a pool policy may only change
+where the per-source kernels run, never what they return.  The suite pins
+that across every relation and backend, under churn (mutate → resync →
+re-dispatch against the new generation), and for the executor primitives
+themselves (deterministic chunk merging, per-chunk RNG seeding, graceful
+degradation when shared memory is unavailable).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.compatibility import (
+    CompatibilityEngine,
+    DistanceOracle,
+    make_relation,
+    source_sampled_pair_statistics,
+)
+from repro.datasets import synthetic_signed_network
+from repro.exec import (
+    KERNELS,
+    POLICY_DEFAULT,
+    ExecutionPolicy,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    executor_for,
+    register_kernel,
+    reset_executors,
+    resolve_policy,
+    serial_executor,
+)
+from repro.exec import pool as pool_module
+from repro.experiments import apply_edge_churn
+from repro.signed.graph import SignedGraph
+from repro.utils.rng import ensure_rng
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+# Registered at import time so that every pool forked afterwards inherits
+# them (fork snapshots the registry at pool creation).
+@register_kernel("test_echo")
+def _test_echo(payload, sources, params):
+    return [(params.get("tag"), source) for source in sources]
+
+
+@register_kernel("test_rng")
+def _test_rng(payload, sources, params):
+    return [random.random() for _ in sources]
+
+
+class IdentityNode:
+    """Module-level (so instances pickle) but with identity-based equality:
+    unpickled copies are unequal to the originals, which makes the node type
+    legal for serial execution yet unusable inside pool workers."""
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"IdentityNode({self.label})"
+
+
+_IS_FORK = multiprocessing.get_start_method(allow_none=False) == "fork"
+
+requires_fork = pytest.mark.skipif(
+    not _IS_FORK,
+    reason="locally registered test kernels need fork-inherited registries",
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_executors():
+    """Kill pools forked before this module imported (stale kernel registry)."""
+    reset_executors()
+    yield
+    reset_executors()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    graph, _ = synthetic_signed_network(
+        250, average_degree=4.0, negative_fraction=0.25, seed=29
+    )
+    return graph
+
+
+def pool_policy(backend: str = "auto", workers: int = 2, **kwargs) -> ExecutionPolicy:
+    """A policy that really dispatches (no small-batch inline shortcut)."""
+    return ExecutionPolicy(
+        backend=backend, workers=workers, min_parallel_sources=1, **kwargs
+    )
+
+
+def build_stack(graph, name: str, backend, policy=None):
+    """(relation, oracle, engine) under one backend/policy combination."""
+    kwargs = {}
+    if name in ("SBP", "SBPH"):
+        kwargs["max_expansions"] = 2_000
+    if backend is not None:
+        kwargs["backend"] = backend
+    relation = make_relation(name, graph, policy=policy, **kwargs)
+    oracle = DistanceOracle(relation)
+    engine = CompatibilityEngine(relation, oracle=oracle)
+    return relation, oracle, engine
+
+
+class TestExecutionPolicy:
+    def test_defaults_are_serial(self):
+        policy = ExecutionPolicy()
+        assert not policy.parallel
+        assert policy.resolved_workers() == 1
+        assert isinstance(executor_for(policy), SerialExecutor)
+        assert executor_for(policy) is serial_executor()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(backend="gpu")
+        with pytest.raises(ValueError):
+            ExecutionPolicy(workers=-2)
+        with pytest.raises(ValueError):
+            ExecutionPolicy(chunk_size=0)
+        with pytest.raises(ValueError):
+            ExecutionPolicy(min_parallel_sources=0)
+
+    def test_workers_minus_one_resolves_to_cpu_count(self):
+        assert ExecutionPolicy(workers=-1).resolved_workers() >= 1
+
+    def test_policies_are_hashable_and_comparable(self):
+        assert ExecutionPolicy() == ExecutionPolicy()
+        assert hash(ExecutionPolicy(workers=2)) == hash(ExecutionPolicy(workers=2))
+
+    def test_resolve_policy_shim_semantics(self):
+        base = ExecutionPolicy(backend="csr", bfs_cache_size=17)
+        # Unset markers keep the policy's values.
+        kept = resolve_policy(base, backend=None, bfs_cache_size=POLICY_DEFAULT)
+        assert kept == base
+        # Explicit legacy values win, including an explicit None cache size
+        # (the legacy spelling of "unbounded").
+        overridden = resolve_policy(base, backend="dict", bfs_cache_size=None)
+        assert overridden.backend == "dict"
+        assert overridden.bfs_cache_size is None
+
+    def test_relation_legacy_kwargs_map_onto_policy(self, graph):
+        relation = make_relation("SPO", graph, backend="dict")
+        assert relation.policy.backend == "dict"
+        relation = make_relation(
+            "SPO", graph, policy=ExecutionPolicy(backend="csr", workers=0)
+        )
+        assert relation.policy.backend == "csr"
+        # An explicitly passed legacy kwarg overrides the policy field.
+        relation = make_relation(
+            "SPO", graph, backend="dict", policy=ExecutionPolicy(backend="csr")
+        )
+        assert relation.policy.backend == "dict"
+
+    def test_engine_batched_shim_and_policy_inheritance(self, graph):
+        relation = make_relation("SPO", graph, backend="dict")
+        engine = CompatibilityEngine(relation)
+        assert engine.policy.batched and engine.batched
+        assert engine.policy.backend == "dict"  # inherited from the relation
+        legacy = CompatibilityEngine(relation, batched=False)
+        assert legacy.policy.batched is False and legacy.batched is False
+
+    def test_oracle_inherits_relation_policy_and_cache_override(self, graph):
+        relation = make_relation("SPO", graph, backend="dict")
+        oracle = DistanceOracle(relation)
+        assert oracle.policy.backend == "dict"
+        unbounded = DistanceOracle(relation, cache_size=None)
+        assert unbounded._bfs_cache.maxsize is None
+
+
+class TestSerialExecutor:
+    def test_empty_batch(self, graph):
+        assert serial_executor().map_kernel("dict_signed_bfs", graph, []) == []
+
+    def test_unknown_kernel_raises(self, graph):
+        with pytest.raises(KeyError):
+            serial_executor().map_kernel("no_such_kernel", graph, [0])
+
+    def test_duplicate_kernel_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_kernel("test_echo", lambda payload, sources, params: [])
+        assert KERNELS["test_echo"] is _test_echo
+
+
+class TestPoolExecutor:
+    def test_executor_for_returns_pool(self):
+        executor = executor_for(pool_policy())
+        assert isinstance(executor, ProcessPoolExecutor)
+        assert executor.workers == 2
+
+    @requires_fork
+    def test_chunk_merge_preserves_input_order(self, graph):
+        executor = executor_for(pool_policy(chunk_size=3))
+        sources = list(range(20))
+        result = executor.map_kernel(
+            "test_echo", graph, sources, params={"tag": "t"}
+        )
+        assert result == [("t", source) for source in sources]
+
+    @requires_fork
+    def test_rng_kernel_deterministic_across_runs_and_worker_counts(self, graph):
+        first = executor_for(pool_policy(chunk_size=4, workers=3, seed=7))
+        again = executor_for(pool_policy(chunk_size=4, workers=3, seed=7))
+        other_pool = executor_for(pool_policy(chunk_size=4, workers=5, seed=7))
+        sources = list(range(17))
+        baseline = first.map_kernel("test_rng", graph, sources)
+        assert again.map_kernel("test_rng", graph, sources) == baseline
+        # Same chunking + per-chunk seeding => identical draws no matter how
+        # many workers raced over the chunks.
+        assert other_pool.map_kernel("test_rng", graph, sources) == baseline
+        # A different base seed changes the stream.
+        reseeded = executor_for(pool_policy(chunk_size=4, workers=3, seed=8))
+        assert reseeded.map_kernel("test_rng", graph, sources) != baseline
+
+    def test_csr_kernel_arrays_bit_identical(self, graph):
+        np = pytest.importorskip("numpy")
+        csr = graph.csr_view()
+        dense = [csr.index_of(node) for node in graph.nodes()[:30]]
+        params = {"skip_overflow": True}
+        serial = serial_executor().map_kernel("csr_signed_bfs", csr, dense, params)
+        pooled = executor_for(pool_policy()).map_kernel(
+            "csr_signed_bfs", csr, dense, params
+        )
+        for left, right in zip(serial, pooled):
+            assert all(np.array_equal(a, b) for a, b in zip(left, right))
+
+    def test_small_batches_run_inline(self, graph):
+        policy = ExecutionPolicy(workers=2, min_parallel_sources=64)
+        executor = executor_for(policy)
+        handle_publishes = executor._handle._next_publish_id
+        result = executor.map_kernel("dict_signed_bfs", graph, graph.nodes()[:3])
+        assert len(result) == 3
+        # Nothing was shipped: the batch stayed under the dispatch threshold.
+        assert executor._handle._next_publish_id == handle_publishes
+
+
+#: Relation x backend grid: the SP* family and SBPH have two kernel backends,
+#: the edge relations and exact SBP only the dict machinery.
+RELATION_BACKENDS = [
+    ("DPE", None),
+    ("NNE", None),
+    ("SBP", None),
+    ("SPA", "dict"),
+    ("SPA", "csr"),
+    ("SPM", "dict"),
+    ("SPM", "csr"),
+    ("SPO", "dict"),
+    ("SPO", "csr"),
+    ("SBPH", "dict"),
+    ("SBPH", "csr"),
+]
+
+
+class TestPoolSerialBitIdentity:
+    @pytest.mark.parametrize("name,backend", RELATION_BACKENDS)
+    def test_batched_queries_identical(self, graph, name, backend):
+        serial_rel, serial_oracle, serial_engine = build_stack(graph, name, backend)
+        pool_rel, pool_oracle, pool_engine = build_stack(
+            graph, name, None, policy=pool_policy(backend or "auto")
+        )
+        nodes = graph.nodes()
+        sample = nodes[:10] if name in ("SBP", "SBPH") else nodes[:25]
+        team = nodes[5:8]
+        candidates = nodes[30:70]
+
+        assert pool_rel.batch_compatible_sets(sample) == serial_rel.batch_compatible_sets(sample)
+        assert pool_rel.batch_compatibility_degrees(sample) == serial_rel.batch_compatibility_degrees(sample)
+        assert pool_engine.compatible_from_many(candidates, team) == serial_engine.compatible_from_many(candidates, team)
+        assert pool_oracle.batch_distance_to_set(candidates, team) == serial_oracle.batch_distance_to_set(candidates, team)
+
+        serial_stats = source_sampled_pair_statistics(
+            serial_rel, 8, seed=13, engine=serial_engine
+        )
+        pool_stats = source_sampled_pair_statistics(
+            pool_rel, 8, seed=13, engine=pool_engine
+        )
+        assert serial_stats == pool_stats
+
+    def test_balanced_batch_distances_match_per_candidate_loop(self, graph):
+        relation, oracle, _engine = build_stack(graph, "SBPH", "dict")
+        nodes = graph.nodes()
+        team = nodes[:3]
+        candidates = nodes[10:60]
+        batched = oracle.batch_distance_to_set(candidates, team)
+        loop = [oracle.distance_to_set(candidate, team) for candidate in candidates]
+        assert batched == loop
+
+    def test_truncation_flags_survive_pool_dispatch(self, graph):
+        # A tiny expansion budget forces truncation; the pool path must
+        # record the same flagged sources as the serial path.
+        serial_rel = make_relation("SBP", graph, max_expansions=50)
+        pool_rel = make_relation(
+            "SBP", graph, max_expansions=50, policy=pool_policy()
+        )
+        sample = graph.nodes()[:6]
+        serial_rel.batch_compatible_sets(sample)
+        pool_rel.batch_compatible_sets(sample)
+        assert pool_rel.truncated_sources() == serial_rel.truncated_sources()
+
+
+class TestChurnRedispatch:
+    def test_pool_identical_to_cold_serial_after_each_round(self):
+        graph, _ = synthetic_signed_network(
+            220, average_degree=4.0, negative_fraction=0.25, seed=31
+        )
+        pool_rel, pool_oracle, pool_engine = build_stack(
+            graph, "SPO", None, policy=pool_policy("csr")
+        )
+        rng = ensure_rng(99)
+        publishes_seen = set()
+        for _round in range(3):
+            apply_edge_churn(graph, 25, rng)
+            pool_engine.refresh()
+            # A cold serial stack on the mutated graph is the ground truth.
+            cold_rel, cold_oracle, cold_engine = build_stack(graph, "SPO", "csr")
+            nodes = graph.nodes()
+            sample, team, candidates = nodes[:20], nodes[4:7], nodes[25:65]
+            assert pool_rel.batch_compatible_sets(sample) == cold_rel.batch_compatible_sets(sample)
+            assert pool_engine.compatible_from_many(candidates, team) == cold_engine.compatible_from_many(candidates, team)
+            assert pool_oracle.batch_distance_to_set(candidates, team) == cold_oracle.batch_distance_to_set(candidates, team)
+            handle = pool_module._POOL_HANDLES[2]
+            publishes_seen.add(handle._next_publish_id)
+        # Every round shipped a fresh snapshot: the generation-keyed publish
+        # invalidated the stale one instead of reusing it.
+        assert len(publishes_seen) == 3
+
+
+class TestRepublishBookkeeping:
+    def test_same_payload_republished_many_generations_keeps_pool_alive(self, graph):
+        """Regression: a dict payload republishing under one id every round
+        must not trip the live-publication bound and unlink its own segments
+        (which used to kill the shared pool after ~_PUBLISH_BOUND rounds)."""
+        working, _ = synthetic_signed_network(
+            120, average_degree=4.0, negative_fraction=0.25, seed=41
+        )
+        pool_rel = make_relation("SPO", working, policy=pool_policy("dict"))
+        executor = pool_rel._executor()
+        handle = executor._handle
+        rng = ensure_rng(5)
+        for _round in range(3 * pool_module._PUBLISH_BOUND):
+            apply_edge_churn(working, 5, rng)
+            serial_rel = make_relation("SPO", working, backend="dict")
+            sample = working.nodes()[:8]
+            assert pool_rel.batch_bfs(sample) == serial_rel.batch_bfs(sample)
+            assert not handle.closed
+        key = id(working)
+        assert list(handle.publish_order).count(key) == 1
+        assert len(handle.publish_order) <= pool_module._PUBLISH_BOUND
+
+    def test_failed_payload_marker_does_not_survive_id_reuse(self, graph):
+        handle = executor_for(pool_policy())._handle
+        probe, _ = synthetic_signed_network(
+            10, average_degree=2.0, negative_fraction=0.2, seed=1
+        )
+        handle.mark_failed(probe)
+        assert handle.is_failed(probe)
+        key = id(probe)
+        del probe  # the weakref callback must clear the marker with the object
+        assert key not in handle.failed_payloads
+
+
+class TestStreamingParity:
+    def test_streaming_report_identical_with_workers(self):
+        from repro.experiments import StreamingConfig, run_streaming
+
+        base = dict(
+            dataset="slashdot",
+            scale=0.25,
+            relation="SPO",
+            algorithms=("LCMD", "RFMC"),
+            num_rounds=2,
+            churn_per_round=12,
+            tasks_per_round=1,
+            task_size=3,
+            seed=77,
+        )
+        serial_report = run_streaming(StreamingConfig(**base))
+        pool_report = run_streaming(StreamingConfig(workers=2, **base))
+        for serial_round, pool_round in zip(serial_report.rounds, pool_report.rounds):
+            assert serial_round.generation == pool_round.generation
+            for serial_query, pool_query in zip(serial_round.queries, pool_round.queries):
+                assert serial_query.algorithm == pool_query.algorithm
+                assert serial_query.solved == pool_query.solved
+                assert serial_query.cost == pool_query.cost
+                assert serial_query.team_size == pool_query.team_size
+
+
+class TestGracefulDegradation:
+    def test_no_shared_memory_degrades_to_serial_with_warning(self, monkeypatch):
+        reset_executors()
+        monkeypatch.setattr(pool_module, "_DISABLE_SHARED_MEMORY", True)
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            executor = executor_for(ExecutionPolicy(workers=2))
+        assert isinstance(executor, SerialExecutor)
+        # The failure is remembered: no re-warn, still serial.
+        assert isinstance(executor_for(ExecutionPolicy(workers=4)), SerialExecutor)
+        monkeypatch.setattr(pool_module, "_DISABLE_SHARED_MEMORY", False)
+        reset_executors()
+
+    def test_degraded_policy_still_produces_correct_results(self, graph, monkeypatch):
+        reset_executors()
+        monkeypatch.setattr(pool_module, "_DISABLE_SHARED_MEMORY", True)
+        with pytest.warns(RuntimeWarning):
+            pool_rel = make_relation("SPO", graph, policy=pool_policy("csr"))
+            pool_sets = pool_rel.batch_compatible_sets(graph.nodes()[:10])
+        serial_rel = make_relation("SPO", graph, backend="csr")
+        assert pool_sets == serial_rel.batch_compatible_sets(graph.nodes()[:10])
+        monkeypatch.setattr(pool_module, "_DISABLE_SHARED_MEMORY", False)
+        reset_executors()
+
+    def test_unpicklable_payload_degrades_per_payload(self):
+        class OpaqueNode:
+            """Defined locally, hence unpicklable — publish must fail cleanly."""
+
+            def __init__(self, label: str) -> None:
+                self.label = label
+
+            def __repr__(self) -> str:
+                return f"OpaqueNode({self.label})"
+
+        nodes = [OpaqueNode(str(index)) for index in range(8)]
+        graph = SignedGraph()
+        for index in range(7):
+            graph.add_edge(nodes[index], nodes[index + 1], +1 if index % 3 else -1)
+        pool_rel = make_relation("SBPH", graph, policy=pool_policy("dict"))
+        with pytest.warns(RuntimeWarning, match="degraded to serial"):
+            pool_sets = pool_rel.batch_compatible_sets(nodes)
+        serial_rel = make_relation("SBPH", graph, backend="dict")
+        assert pool_sets == serial_rel.batch_compatible_sets(nodes)
+
+    def test_identity_equality_nodes_degrade_to_serial(self):
+        """Picklable nodes whose copies compare unequal (identity __eq__)
+        must be refused at publish time and served serially — not crash with
+        NodeNotFoundError inside a worker."""
+        nodes = [IdentityNode(index) for index in range(8)]
+        graph = SignedGraph()
+        for index in range(7):
+            graph.add_edge(nodes[index], nodes[index + 1], +1 if index % 3 else -1)
+        # A distinct policy gets a fresh executor, so the once-per-executor
+        # degradation warning (consumed by the test above) fires again.
+        pool_rel = make_relation("SPA", graph, policy=pool_policy("dict", seed=123))
+        with pytest.warns(RuntimeWarning, match="degraded to serial"):
+            pool_sets = pool_rel.batch_compatible_sets(nodes)
+        serial_rel = make_relation("SPA", graph, backend="dict")
+        assert pool_sets == serial_rel.batch_compatible_sets(nodes)
