@@ -47,6 +47,47 @@ from repro.teams import ALGORITHM_NAMES, TeamFormationProblem, run_algorithm
 from repro.utils.tables import format_table
 
 
+def _workers_argument(value: str) -> int:
+    """Validate ``--workers`` at parse time with a message that explains it.
+
+    Without this, a bad value would only surface at the first kernel
+    dispatch, as an opaque ``ValueError`` out of the policy/multiprocessing
+    internals.  The rule (and its message) lives in
+    :func:`repro.exec.policy.validate_workers`, shared with
+    :func:`repro.exec.resolve_policy` so the two surfaces cannot drift.
+    """
+    from repro.exec.policy import validate_workers
+
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer worker count, got {value!r}"
+        ) from None
+    try:
+        validate_workers(workers)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return workers
+
+
+def _chunk_size_argument(value: str) -> int:
+    """Validate ``--chunk-size``: a positive source count per worker task."""
+    from repro.exec.policy import validate_chunk_size
+
+    try:
+        chunk_size = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer chunk size, got {value!r}"
+        ) from None
+    try:
+        validate_chunk_size(chunk_size, name="chunk-size")
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return chunk_size
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -83,14 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
         """``--workers`` / ``--chunk-size``: the ExecutionPolicy pool knobs."""
         subparser.add_argument(
             "--workers",
-            type=int,
+            type=_workers_argument,
             default=0,
             help="worker processes for per-source kernel sweeps "
             "(0 = serial, the default; -1 = one per CPU)",
         )
         subparser.add_argument(
             "--chunk-size",
-            type=int,
+            type=_chunk_size_argument,
             default=None,
             help="sources per worker task (default: derived per dispatch)",
         )

@@ -201,7 +201,16 @@ class _BalancedPathRelation(CompatibilityRelation):
         return fetch_batched(self._result_cache, source_list, compute_missing)
 
     def _map_searches(self, sources: List[Node]) -> List[BalancedPathResult]:
-        """Run the relation's search for every source through the executor."""
+        """Run the relation's search for every source through the executor.
+
+        On the CSR backend under a pool policy the workers write each
+        source's SBPH depth maps as sentinel-filled dense rows of the
+        dispatch's shared-memory result arena (this is what keeps the
+        balanced *reverse sweeps* — every candidate of
+        :meth:`batch_compatible_sets` / :meth:`batch_distance_to_set` —
+        off the pickle path); the depths are re-keyed to node objects here
+        either way, so results are identical to the serial search.
+        """
         executor = self._executor()
         if self._use_csr_search():
             from repro.signed.csr import balanced_result_from_depths

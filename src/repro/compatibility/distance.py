@@ -150,7 +150,11 @@ class DistanceOracle:
         On the CSR backend every uncached source joins one lockstep
         multi-source BFS
         (:func:`repro.signed.csr.multi_source_shortest_path_lengths_csr`)
-        instead of running its own traversal.  Returns the maps in input
+        instead of running its own traversal.  Under a pool policy the
+        workers write the dense distance maps straight into the dispatch's
+        shared-memory result arena; the parent copies each row out of the
+        mapped segment (cache entries must own their bytes) — no per-source
+        array ever crosses the pipe pickled.  Returns the maps in input
         order; they are also written through to the cache.  All requested
         maps are computed and held for the duration of the call (callers pass
         team-sized lists); prefetch-only sweeps larger than the cache bound

@@ -272,6 +272,12 @@ class CompatibilityEngine:
         surviving result from a snapshot with a different node set): the
         caller runs the per-pair path on that very result rather than
         re-fetching it (the BFS LRU can be smaller than the team).
+
+        Under a pool policy the misses are fetched as worker-packed bitmaps
+        (``csr_compatible_masks`` — ``rule & reachable``, which is exactly
+        this memo's mask since a source always passes its own pair rule), so
+        each member ships ``n/8`` bytes instead of three O(n) count arrays;
+        only int64-overflow members fall back to the batched-BFS path.
         """
         from repro.signed.csr import UNREACHABLE
 
@@ -285,6 +291,40 @@ class CompatibilityEngine:
                 masks[member] = (entry[1], None)
             else:
                 missing.append(member)
+        if missing and self._policy.parallel:
+            import numpy as np
+
+            # Members whose BFS results already sit in the relation's cache
+            # (earlier pair queries, a warm()) must not pay a fresh worker-side
+            # traversal: indexable results yield their mask locally, the rest
+            # (dict fallbacks, foreign snapshots) go to the batch_bfs loop
+            # below — also a cache hit.  Only true misses are dispatched.
+            dispatch: List[Node] = []
+            uncached: List[Node] = []
+            for member in missing:
+                cached = relation._bfs_cache.get(member)
+                if cached is None:
+                    dispatch.append(member)
+                elif not isinstance(
+                    cached, SignedBFSResult
+                ) and cached.graph.shares_index_with(csr):
+                    mask = relation._pair_rule_mask(
+                        cached.positive_array, cached.negative_array
+                    ) & (cached.lengths_array != UNREACHABLE)
+                    self._mask_cache[member] = (nodes_tag, mask)
+                    masks[member] = (mask, None)
+                else:
+                    uncached.append(member)
+            for member, packed in zip(
+                dispatch, relation._batch_compatible_masks(dispatch)
+            ):
+                if packed is None:
+                    uncached.append(member)
+                    continue
+                mask = np.unpackbits(packed, count=len(nodes_tag)).view(np.bool_)
+                self._mask_cache[member] = (nodes_tag, mask)
+                masks[member] = (mask, None)
+            missing = uncached
         if missing:
             for member, result in zip(missing, relation.batch_bfs(missing)):
                 if isinstance(result, SignedBFSResult) or not result.graph.shares_index_with(csr):

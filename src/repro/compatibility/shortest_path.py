@@ -321,6 +321,16 @@ class _ShortestPathRelation(CompatibilityRelation):
         each returned set equals :meth:`compatible_with` exactly and is
         written into the compatible-set cache.  Results are held locally, so
         samples larger than the cache bound still cost one batched pass.
+
+        Under a pool policy the sweep routes through the
+        ``csr_compatible_masks`` kernel instead: the pair rule is applied
+        *inside* the workers and each source comes back as a packed
+        ``ceil(n/8)``-byte bitmap (through the shared-memory result arena
+        when enabled) rather than O(n) BFS arrays — the parent materialises
+        the frozensets straight from the bitmap rows.  Sources whose counts
+        trip the int64 guard are resolved on the dict backend in the parent,
+        exactly like the serial path, without bypassing shipping for the
+        rest of the batch.
         """
         source_list = list(sources)
         self._require_nodes(*source_list)
@@ -331,6 +341,10 @@ class _ShortestPathRelation(CompatibilityRelation):
                 # from the cache instead of traversing serially.
                 self.batch_bfs(source_list)
             return super().batch_compatible_sets(source_list)
+        if self._policy.parallel:
+            return fetch_batched(
+                self._compatible_cache, source_list, self._compute_mask_sets
+            )
 
         def compute_missing(missing: List[Node]) -> List[FrozenSet[Node]]:
             sets: List[FrozenSet[Node]] = []
@@ -347,6 +361,47 @@ class _ShortestPathRelation(CompatibilityRelation):
             return sets
 
         return fetch_batched(self._compatible_cache, source_list, compute_missing)
+
+    def _batch_compatible_masks(self, sources: Sequence[Node]) -> List:
+        """Packed compatible bitmaps per source via the executor.
+
+        One ``uint8`` row of ``ceil(n/8)`` bytes per source (``None`` marks
+        an int64 overflow) — ``rule & reachable`` over the snapshot's dense
+        ids with the source's own bit set.  Under a pool policy the rows ship
+        through the result arena and come back as zero-copy views; under the
+        degraded/serial executor the plain kernel computes the same bytes
+        in-process (the arena's no-op path).
+        """
+        csr = self._graph.csr_view()
+        return self._executor().map_kernel(
+            "csr_compatible_masks",
+            csr,
+            [csr.index_of(source) for source in sources],
+            params={
+                "rule": self.name,
+                "lockstep_threshold": self._policy.lockstep_node_threshold,
+            },
+        )
+
+    def _compute_mask_sets(self, missing: List[Node]) -> List[FrozenSet[Node]]:
+        """Pool path of :meth:`batch_compatible_sets`: bitmaps in, frozensets out."""
+        import numpy as np
+
+        csr = self._graph.csr_view()
+        nodes = csr._nodes
+        sets: List[FrozenSet[Node]] = []
+        for source, packed in zip(missing, self._batch_compatible_masks(missing)):
+            if packed is None:
+                # int64 overflow: this source needs the dict backend's
+                # arbitrary-precision counts (computed in the parent); the
+                # rest of the batch keeps its worker-side bitmaps.
+                computed = self._compute_compatible_set(source)
+                computed.add(source)
+                sets.append(frozenset(computed))
+                continue
+            mask = np.unpackbits(packed, count=len(nodes))
+            sets.append(frozenset(nodes[dense] for dense in np.flatnonzero(mask)))
+        return sets
 
     def batch_compatibility_degrees(self, sources: Sequence[Node]) -> List[int]:
         """Number of *other* compatible nodes for every source, batched.

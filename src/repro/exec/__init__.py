@@ -10,6 +10,7 @@ Serial and pooled execution are bit-identical; see the README's
 "Execution policies" section and :mod:`repro.exec.pool` for the worker model.
 """
 
+from repro.exec.arena import ResultArena
 from repro.exec.kernels import KERNELS, register_kernel
 from repro.exec.policy import (
     POLICY_DEFAULT,
@@ -35,6 +36,7 @@ __all__ = [
     "KERNELS",
     "POLICY_DEFAULT",
     "ProcessPoolExecutor",
+    "ResultArena",
     "SerialExecutor",
     "SnapshotDescriptor",
     "executor_for",

@@ -88,6 +88,18 @@ class ExecutionPolicy:
     min_parallel_sources:
         Batches smaller than this run in-process even under a pool policy —
         shipping a two-source batch to workers costs more than running it.
+    result_arena:
+        When true (the default), set-valued CSR kernel dispatches ship their
+        dense results through a per-dispatch ``multiprocessing.shared_memory``
+        *result arena* (workers write rows in place, the parent reads
+        zero-copy views) instead of pickling O(n) arrays per source back
+        through the pipe.  Results are bit-identical either way; turn it off
+        to benchmark or to sidestep a platform's shared-memory limits.
+    arena_budget_bytes:
+        Upper bound on one dispatch's result-arena segment; a dispatch whose
+        layout would exceed it falls back to pickled result shipping (still
+        parallel).  ``0`` disables the check.  The default (256 MiB) admits a
+        full 50k-node, 150-source BFS sweep with headroom.
     lockstep_node_threshold:
         Override for :data:`repro.signed.csr.LOCKSTEP_NODE_THRESHOLD`
         (``None`` keeps the library default): the graph size above which the
@@ -117,6 +129,8 @@ class ExecutionPolicy:
     workers: int = 0
     chunk_size: Optional[int] = None
     min_parallel_sources: int = 4
+    result_arena: bool = True
+    arena_budget_bytes: int = 256 * 2**20
     lockstep_node_threshold: Optional[int] = None
     csr_auto_level_threshold: Optional[int] = None
     compatible_cache_size: CacheSize = "auto"
@@ -131,13 +145,17 @@ class ExecutionPolicy:
             raise ValueError(
                 f"backend must be one of {_VALID_BACKENDS}, got {self.backend!r}"
             )
-        if self.workers < -1:
-            raise ValueError(f"workers must be >= -1, got {self.workers}")
-        if self.chunk_size is not None and self.chunk_size <= 0:
-            raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
+        validate_workers(self.workers)
+        if self.chunk_size is not None:
+            validate_chunk_size(self.chunk_size)
         if self.min_parallel_sources < 1:
             raise ValueError(
                 f"min_parallel_sources must be >= 1, got {self.min_parallel_sources}"
+            )
+        if self.arena_budget_bytes < 0:
+            raise ValueError(
+                "arena_budget_bytes must be >= 0 (0 disables the budget), "
+                f"got {self.arena_budget_bytes}"
             )
 
     # ------------------------------------------------------------- resolution
@@ -182,7 +200,35 @@ def resolve_policy(
         if value is None and not name.endswith("_cache_size"):
             continue
         updates[name] = value
+    # replace() re-runs ExecutionPolicy.__post_init__, which is the single
+    # validation point for every knob — overrides included.
     return replace(base, **updates) if updates else base
+
+
+def validate_workers(workers, name: str = "workers") -> None:
+    """Raise :class:`ValueError` unless ``workers`` is a legal worker count.
+
+    The single source of the rule and its message: every construction path —
+    direct :class:`ExecutionPolicy` instantiation, :func:`resolve_policy`
+    overrides (the funnel behind the experiment configs and legacy kwargs)
+    and the CLI's parse-time validators — goes through it, so a bad value
+    dies with one explanation of what the knob means instead of an opaque
+    ``ValueError`` surfacing from ``multiprocessing`` at first dispatch.
+    """
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < -1:
+        raise ValueError(
+            f"{name} must be -1 (one per CPU), 0 or 1 (serial), or >= 2 "
+            f"(pool size); got {workers!r}"
+        )
+
+
+def validate_chunk_size(chunk_size, name: str = "chunk_size") -> None:
+    """Raise :class:`ValueError` unless ``chunk_size`` is a legal task size."""
+    if not isinstance(chunk_size, int) or isinstance(chunk_size, bool) or chunk_size < 1:
+        raise ValueError(
+            f"{name} must be a positive number of sources per worker "
+            f"task (or omitted to derive one per dispatch); got {chunk_size!r}"
+        )
 
 
 # --------------------------------------------------------------------- lookup
@@ -234,8 +280,9 @@ def executor_for(policy: ExecutionPolicy):
 def reset_executors() -> None:
     """Close every pool and forget cached executors (tests, forked servers)."""
     global _POOLS_UNAVAILABLE
-    from repro.exec.pool import shutdown_pools
+    from repro.exec import pool
 
     _EXECUTORS.clear()
     _POOLS_UNAVAILABLE = False
-    shutdown_pools()
+    pool._DEGRADE_WARNED.clear()
+    pool.shutdown_pools()

@@ -16,6 +16,15 @@ shape explicit:
   *and* its ``generation``; a mutated graph (or a fresh snapshot after a
   churn batch) republishes automatically, so workers can never serve results
   against a stale snapshot.
+* **Result shipping.**  Set-valued sweeps used to pickle O(n) result arrays
+  back to the parent per source; the kernels in
+  :data:`repro.exec.arena._ARENA_KERNELS` now write their dense results into
+  a per-dispatch ``multiprocessing.shared_memory`` *result arena*
+  (chunk-strided rows, written through the ``*_into`` kernel variants) and
+  return only compact per-source tokens.  The parent decodes zero-copy row
+  views and unlinks the segment immediately; every created segment sits on a
+  parent-owned ledger flushed by :func:`shutdown_pools`, so crashed
+  dispatches cannot leak ``/dev/shm`` entries.  See :mod:`repro.exec.arena`.
 * **Deterministic merging.**  Sources are split into index-ordered chunks,
   dispatched with :meth:`multiprocessing.pool.Pool.map` (which returns
   results in task order regardless of completion order), and concatenated —
@@ -44,6 +53,8 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.exec import arena as arena_module
+from repro.exec.arena import ResultArena
 from repro.exec.kernels import KERNELS
 from repro.exec.policy import ExecutionPolicy
 from repro.exec.serial import Executor, serial_executor
@@ -61,6 +72,72 @@ _WORKER_CACHE_BOUND = 4
 
 class ExecutorUnavailable(RuntimeError):
     """Raised when a worker pool (or a payload shipment) cannot be set up."""
+
+
+#: Parent-owned ledger of every shared-memory segment this process created
+#: and has not yet unlinked — snapshot publications and in-flight result
+#: arenas alike.  Normal operation adds and removes entries symmetrically;
+#: :func:`shutdown_pools` flushes whatever is left, so a dispatch that died
+#: between segment creation and its cleanup (worker crash, interrupt) cannot
+#: leave stale ``/dev/shm`` entries behind once the pools are torn down.
+_SEGMENT_LEDGER: Dict[str, object] = {}
+
+#: Already-unlinked segments whose mapping could not be closed yet because a
+#: decoded zero-copy view still exports their buffer (possible when a cache
+#: full of views dies inside a reference cycle, where the GC may run the
+#: arena finalizer before the views' deallocation).  Holding the handle here
+#: keeps ``SharedMemory.__del__`` from raising mid-collection; the sweep
+#: below retries the close once the exports are really gone.
+_RETIRED_SEGMENTS: List[object] = []
+
+
+def _close_or_retire(shm) -> None:
+    """Close a segment's mapping now, or park it for a later retry."""
+    try:
+        shm.close()
+    except BufferError:  # a decoded view still maps the buffer
+        _RETIRED_SEGMENTS.append(shm)
+    except Exception:  # pragma: no cover - best-effort cleanup
+        pass
+
+
+def _sweep_retired_segments() -> None:
+    """Retry closing parked segment mappings whose views have since died."""
+    still_open: List[object] = []
+    for shm in _RETIRED_SEGMENTS:
+        try:
+            shm.close()
+        except BufferError:
+            still_open.append(shm)
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+    _RETIRED_SEGMENTS[:] = still_open
+
+
+def _ledger_discard(shm, unlink: bool = True) -> None:
+    """Drop ``shm`` from the ledger and release it (best-effort)."""
+    _SEGMENT_LEDGER.pop(shm.name, None)
+    if unlink:
+        try:
+            shm.unlink()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+    _close_or_retire(shm)
+
+
+def _flush_segment_ledger() -> None:
+    """Unlink every segment still on the ledger (crash/interrupt leftovers)."""
+    for shm in list(_SEGMENT_LEDGER.values()):
+        _ledger_discard(shm)
+    _sweep_retired_segments()
+
+
+#: Degradation stages already warned about, shared across every executor
+#: instance in the process.  A freshly constructed relation (hence executor)
+#: on a pool-less or numpy-free host must not re-warn on every construction —
+#: one RuntimeWarning per failure mode per process, like the numpy-free
+#: backend warning.  :func:`repro.exec.policy.reset_executors` clears it.
+_DEGRADE_WARNED: set = set()
 
 
 def _require_shared_memory():
@@ -203,11 +280,37 @@ def _chunk_seed(base_seed: int, chunk_index: int) -> int:
 
 
 def _run_chunk(task):
-    """Worker entry point: attach the payload, seed, run one kernel chunk."""
-    descriptor, kernel_name, sources, params, chunk_index, base_seed = task
+    """Worker entry point: attach the payload, seed, run one kernel chunk.
+
+    With a :class:`~repro.exec.arena.ResultArena` attached to the task, the
+    chunk's dense results are written straight into the shared segment
+    (chunk-strided rows starting at ``start``) and only the compact token
+    list crosses the pipe; without one, the plain kernel's results are
+    returned (pickled) as before.
+    """
+    descriptor, kernel_name, sources, params, chunk_index, base_seed, arena, start = task
     payload = _attach_payload(descriptor)
     random.seed(_chunk_seed(base_seed, chunk_index))
-    return KERNELS[kernel_name](payload, sources, params)
+    if arena is None:
+        return KERNELS[kernel_name](payload, sources, params)
+    return _run_arena_chunk(arena, payload, sources, params, start)
+
+
+def _run_arena_chunk(arena: ResultArena, payload, sources, params, start: int):
+    """Attach the dispatch's result arena and write this chunk's rows."""
+    shared_memory = _require_shared_memory()
+    shm = shared_memory.SharedMemory(name=arena.name)
+    _untrack_attachment(shm)
+    try:
+        planes, base = arena_module.map_planes(arena, shm.buf)
+        tokens = arena_module.write_chunk(arena, planes, start, payload, sources, params)
+        del planes, base  # release the buffer exports before closing
+        return tokens
+    finally:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a writer kept a stray view
+            _RETIRED_HANDLES.append(shm)
 
 
 # ------------------------------------------------------------------ parent side
@@ -263,6 +366,8 @@ class _PoolHandle:
         #: recycled address must not inherit the failure.
         self.failed_payloads: Dict[int, Optional[weakref.ref]] = {}
         self._next_publish_id = 0
+        #: Result arenas allocated over this pool's lifetime (introspection).
+        self.arenas_created = 0
 
     def mark_failed(self, payload) -> None:
         """Remember that ``payload`` cannot be shipped (serial from now on)."""
@@ -366,6 +471,7 @@ class _PoolHandle:
                         "execution needs value-semantic nodes"
                     )
             shm = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+            _SEGMENT_LEDGER[shm.name] = shm
             shm.buf[: len(blob)] = blob
             descriptor = SnapshotDescriptor(
                 publish_id=publish_id,
@@ -381,6 +487,7 @@ class _PoolHandle:
         for array in (payload.indptr, payload.indices, payload.signs):
             array = np.ascontiguousarray(array)
             shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+            _SEGMENT_LEDGER[shm.name] = shm
             view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
             view[...] = array
             del view
@@ -400,11 +507,38 @@ class _PoolHandle:
         if entry is None:
             return
         for shm in entry.handles:
-            try:
-                shm.close()
-                shm.unlink()
-            except Exception:  # pragma: no cover - best-effort cleanup
-                pass
+            _ledger_discard(shm)
+
+    # ----------------------------------------------------------- result arenas
+
+    def create_arena(
+        self, kernel: str, num_sources: int, num_nodes: int, budget: int
+    ) -> Tuple[ResultArena, object]:
+        """Allocate the shared-memory result segment for one dispatch.
+
+        The segment goes on the parent-owned ledger immediately — before any
+        worker sees its name — so even a dispatch that dies between creation
+        and cleanup is flushed by :func:`shutdown_pools`.  Raises
+        :class:`ExecutorUnavailable` when the layout exceeds ``budget`` bytes
+        (``0`` disables the check) or the platform cannot allocate; callers
+        then fall back to pickled result shipping, not to serial execution.
+        """
+        shared_memory = _require_shared_memory()
+        size = arena_module.arena_nbytes(kernel, num_sources, num_nodes)
+        if budget and size > budget:
+            raise ExecutorUnavailable(
+                f"result arena of {size} bytes exceeds the "
+                f"{budget}-byte arena budget"
+            )
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=max(1, size))
+        except OSError as error:
+            raise ExecutorUnavailable(f"cannot allocate a result arena: {error}") from error
+        _SEGMENT_LEDGER[shm.name] = shm
+        self.arenas_created += 1
+        return ResultArena(
+            name=shm.name, kernel=kernel, num_sources=num_sources, num_nodes=num_nodes
+        ), shm
 
     def release_all(self) -> None:
         """Unlink every publication (next dispatch republishes)."""
@@ -439,10 +573,17 @@ def _shared_pool_handle(workers: int) -> _PoolHandle:
 
 
 def shutdown_pools() -> None:
-    """Terminate every pool and unlink all shared memory (atexit-safe)."""
+    """Terminate every pool and unlink all shared memory (atexit-safe).
+
+    Besides the per-pool teardown, this flushes the parent-owned segment
+    ledger — the safety net for segments whose dispatch never reached its own
+    cleanup (a worker that died mid-``Pool.map``, an interrupt between arena
+    creation and decode), so no stale ``/dev/shm`` entries survive it.
+    """
     for handle in list(_POOL_HANDLES.values()):
         handle.shutdown()
     _POOL_HANDLES.clear()
+    _flush_segment_ledger()
 
 
 atexit.register(shutdown_pools)
@@ -463,21 +604,29 @@ class ProcessPoolExecutor(Executor):
         self._policy = policy
         self.workers = policy.resolved_workers()
         self._handle = _shared_pool_handle(self.workers)
-        self._warned = False
 
     @property
     def closed(self) -> bool:
         """True once the underlying pool has been shut down."""
         return self._handle.closed
 
+    @property
+    def uses_result_arena(self) -> bool:
+        """Whether eligible dispatches ship results through shared memory."""
+        return self._policy.result_arena
+
     def _degrade(self, stage: str, error: Exception) -> None:
-        if not self._warned:
-            self._warned = True
-            warnings.warn(
-                f"parallel execution degraded to serial ({stage}: {error})",
-                RuntimeWarning,
-                stacklevel=4,
-            )
+        # The seen-set is module-level (not per executor): every freshly built
+        # relation constructs its own executor, and a degraded host would
+        # otherwise re-warn once per relation instead of once per process.
+        if stage in _DEGRADE_WARNED:
+            return
+        _DEGRADE_WARNED.add(stage)
+        warnings.warn(
+            f"parallel execution degraded to serial ({stage}: {error})",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
     def map_kernel(
         self,
@@ -502,6 +651,26 @@ class ProcessPoolExecutor(Executor):
             handle.mark_failed(payload)
             self._degrade("publish", error)
             return serial_executor().map_kernel(kernel, payload, source_list, params)
+        # Set-valued CSR kernels ship their dense results through a
+        # shared-memory arena instead of pickled arrays: one segment per
+        # dispatch, chunk-strided rows, compact tokens over the pipe.  Arena
+        # failures (budget, allocation) fall back to pickled shipping — the
+        # dispatch stays parallel and the results are identical either way.
+        arena = arena_shm = None
+        if (
+            self._policy.result_arena
+            and descriptor.kind == "csr"
+            and arena_module.supports(kernel)
+        ):
+            try:
+                arena, arena_shm = handle.create_arena(
+                    kernel,
+                    len(source_list),
+                    descriptor.num_nodes,
+                    self._policy.arena_budget_bytes,
+                )
+            except ExecutorUnavailable:
+                arena = arena_shm = None
         chunk = self._policy.chunk_size or max(
             1, math.ceil(len(source_list) / (self.workers * 4))
         )
@@ -514,6 +683,8 @@ class ProcessPoolExecutor(Executor):
                 shared_params,
                 index,
                 self._policy.seed,
+                arena,
+                start,
             )
             for index, start in enumerate(range(0, len(source_list), chunk))
         ]
@@ -522,10 +693,33 @@ class ProcessPoolExecutor(Executor):
             # order, so the concatenation below is deterministic by design.
             chunk_results = handle.pool.map(_run_chunk, tasks, chunksize=1)
         except (OSError, EOFError) as error:
+            if arena_shm is not None:
+                _ledger_discard(arena_shm)
             handle.shutdown()
             self._degrade("dispatch", error)
             return serial_executor().map_kernel(kernel, payload, source_list, params)
-        return [result for chunk_result in chunk_results for result in chunk_result]
+        except BaseException:
+            # Worker exceptions (and interrupts) propagate, but the dispatch's
+            # arena segment must not outlive it — without this, a kernel crash
+            # mid-map leaked the segment until process exit.
+            if arena_shm is not None:
+                _ledger_discard(arena_shm)
+            raise
+        flat = [result for chunk_result in chunk_results for result in chunk_result]
+        if arena is None:
+            return flat
+        _sweep_retired_segments()
+        results = arena_module.decode_results(
+            arena, arena_shm, flat, release=_close_or_retire
+        )
+        # Decoded: drop the name from /dev/shm right away (the mapping stays
+        # readable until the last decoded view dies; see decode_results).
+        _SEGMENT_LEDGER.pop(arena_shm.name, None)
+        try:
+            arena_shm.unlink()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+        return results
 
     def invalidate(self) -> None:
         """Unlink every published snapshot (the next dispatch republishes)."""

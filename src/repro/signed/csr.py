@@ -441,12 +441,37 @@ def _signed_bfs_arrays(
     ``(lengths, positive, negative)``.
     """
     num_nodes = csr.number_of_nodes()
+    lengths = np.empty(num_nodes, dtype=np.int32)
+    positive = np.empty(num_nodes, dtype=np.int64)
+    negative = np.empty(num_nodes, dtype=np.int64)
+    _signed_bfs_arrays_into(csr, source_id, lengths, positive, negative)
+    return lengths, positive, negative
+
+
+def _signed_bfs_arrays_into(
+    csr: CSRSignedGraph,
+    source_id: int,
+    lengths: np.ndarray,
+    positive: np.ndarray,
+    negative: np.ndarray,
+) -> None:
+    """Run Algorithm 1 *into* caller-provided arrays (initialised here).
+
+    The write-into-buffer variant behind result shipping: the execution
+    layer hands this function views into a ``multiprocessing.shared_memory``
+    result arena, so the traversal's own working arrays *are* the shipped
+    result — no copy, no pickling.  The arrays must be ``n``-long with the
+    dtypes of :func:`_signed_bfs_arrays`; previous contents are overwritten.
+    Raises :class:`OverflowError` under the same per-level int64 guard (the
+    arrays then hold partial state the caller must discard).
+    """
+    num_nodes = csr.number_of_nodes()
     degrees = csr.degrees()
     max_degree = int(degrees.max()) if num_nodes else 0
     count_guard = (2**63 - 1) // max(1, max_degree)
-    lengths = np.full(num_nodes, UNREACHABLE, dtype=np.int32)
-    positive = np.zeros(num_nodes, dtype=np.int64)
-    negative = np.zeros(num_nodes, dtype=np.int64)
+    lengths.fill(UNREACHABLE)
+    positive.fill(0)
+    negative.fill(0)
     lengths[source_id] = 0
     positive[source_id] = 1
     frontier = np.array([source_id], dtype=np.int64)
@@ -483,7 +508,6 @@ def _signed_bfs_arrays(
                 )
         frontier = _next_frontier(targets, lengths, depth + 1)
         depth += 1
-    return lengths, positive, negative
 
 
 def signed_bfs_csr(csr: CSRSignedGraph, source: Node) -> CSRSignedBFSResult:
@@ -517,7 +541,21 @@ def signed_bfs_csr(csr: CSRSignedGraph, source: Node) -> CSRSignedBFSResult:
 
 def _shortest_path_lengths_array(csr: CSRSignedGraph, source_id: int) -> np.ndarray:
     """Dense core of :func:`shortest_path_lengths_csr` (dense id in, array out)."""
-    lengths = np.full(csr.number_of_nodes(), UNREACHABLE, dtype=np.int32)
+    lengths = np.empty(csr.number_of_nodes(), dtype=np.int32)
+    _shortest_path_lengths_array_into(csr, source_id, lengths)
+    return lengths
+
+
+def _shortest_path_lengths_array_into(
+    csr: CSRSignedGraph, source_id: int, lengths: np.ndarray
+) -> None:
+    """Sign-agnostic BFS *into* a caller-provided ``int32`` array.
+
+    The write-into-buffer variant used by result shipping: the array may be a
+    shared-memory result-arena row, which then holds the finished distance
+    map without a parent-side copy.  Previous contents are overwritten.
+    """
+    lengths.fill(UNREACHABLE)
     lengths[source_id] = 0
     frontier = np.array([source_id], dtype=np.int64)
     depth = 0
@@ -529,7 +567,6 @@ def _shortest_path_lengths_array(csr: CSRSignedGraph, source_id: int) -> np.ndar
         lengths[undiscovered] = depth + 1
         frontier = _next_frontier(undiscovered, lengths, depth + 1)
         depth += 1
-    return lengths
 
 
 def shortest_path_lengths_csr(csr: CSRSignedGraph, source: Node) -> np.ndarray:
@@ -621,13 +658,42 @@ def _batched_signed_bfs_arrays(
     """
     num_nodes = csr.number_of_nodes()
     k = len(source_ids)
+    size = k * num_nodes
+    lengths = np.empty(size, dtype=np.int32)
+    positive = np.empty(size, dtype=np.int64)
+    negative = np.empty(size, dtype=np.int64)
+    _lockstep_signed_bfs_into(csr, source_ids, lengths, positive, negative)
+    return (
+        lengths.reshape(k, num_nodes),
+        positive.reshape(k, num_nodes),
+        negative.reshape(k, num_nodes),
+    )
+
+
+def _lockstep_signed_bfs_into(
+    csr: CSRSignedGraph,
+    source_ids: Sequence[int],
+    lengths: np.ndarray,
+    positive: np.ndarray,
+    negative: np.ndarray,
+) -> None:
+    """Lockstep core of :func:`_batched_signed_bfs_arrays`, writing in place.
+
+    The arrays are flat ``k * n`` state spaces (any dtype-compatible buffer,
+    e.g. a contiguous block of shared-memory result-arena rows reshaped to
+    1-D); they are initialised here and hold the finished rows on return.
+    Raises :class:`OverflowError` under the per-level int64 guard, leaving
+    partial state the caller must discard (typically by re-running the
+    chunk's sources individually through :func:`_signed_bfs_arrays_into`).
+    """
+    num_nodes = csr.number_of_nodes()
+    k = len(source_ids)
     degrees = csr.degrees()
     max_degree = int(degrees.max()) if num_nodes else 0
     count_guard = (2**63 - 1) // max(1, max_degree)
-    size = k * num_nodes
-    lengths = np.full(size, UNREACHABLE, dtype=np.int32)
-    positive = np.zeros(size, dtype=np.int64)
-    negative = np.zeros(size, dtype=np.int64)
+    lengths.fill(UNREACHABLE)
+    positive.fill(0)
+    negative.fill(0)
     flat_sources = (
         np.arange(k, dtype=np.int64) * num_nodes
         + np.asarray(source_ids, dtype=np.int64)
@@ -662,11 +728,6 @@ def _batched_signed_bfs_arrays(
                 )
         frontier = _next_frontier(targets, lengths, depth + 1)
         depth += 1
-    return (
-        lengths.reshape(k, num_nodes),
-        positive.reshape(k, num_nodes),
-        negative.reshape(k, num_nodes),
-    )
 
 
 #: One per-source kernel output: ``(lengths, positive, negative)`` arrays, or
@@ -725,6 +786,79 @@ def signed_bfs_dense_batch(
                 (lengths[row].copy(), positive[row].copy(), negative[row].copy())
             )
     return results
+
+
+def signed_bfs_dense_batch_into(
+    csr: CSRSignedGraph,
+    source_ids: Sequence[int],
+    out_lengths: np.ndarray,
+    out_positive: np.ndarray,
+    out_negative: np.ndarray,
+    chunk_size: int = DEFAULT_BATCH_CHUNK,
+    skip_overflow: bool = False,
+    lockstep_threshold: Optional[int] = None,
+) -> List[Optional[bool]]:
+    """:func:`signed_bfs_dense_batch` writing straight into ``(k, n)`` buffers.
+
+    The result-shipping variant: the execution layer passes rows of a
+    ``multiprocessing.shared_memory`` result arena, so each source's triple is
+    produced *in place* — the parent maps the same segment and reads the rows
+    zero-copy instead of unpickling per-source arrays.  Row ``i`` of the three
+    output buffers (dtypes ``int32``/``int64``/``int64``) receives source
+    ``source_ids[i]``'s result.  Returns one token per source, aligned with
+    the input: ``True`` for a completed row, ``None`` for an int64 overflow
+    (with ``skip_overflow``), whose row contents are then undefined.  Written
+    rows are bit-identical to :func:`signed_bfs_dense_batch` on the same
+    inputs — the adaptive lockstep/per-source structure is the same.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    threshold = (
+        LOCKSTEP_NODE_THRESHOLD if lockstep_threshold is None else lockstep_threshold
+    )
+    id_list = list(source_ids)
+    tokens: List[Optional[bool]] = []
+
+    def per_source(row: int, source_id: int) -> None:
+        try:
+            _signed_bfs_arrays_into(
+                csr, source_id, out_lengths[row], out_positive[row], out_negative[row]
+            )
+            tokens.append(True)
+        except OverflowError:
+            if not skip_overflow:
+                raise
+            tokens.append(None)
+
+    # The lockstep path flattens contiguous row blocks into its k x n state
+    # space; on a non-contiguous buffer reshape(-1) would silently copy and
+    # the results would never land in the caller's rows — those buffers take
+    # the per-source path, whose single-row writes go through any layout.
+    lockstep_safe = all(
+        out.flags["C_CONTIGUOUS"] for out in (out_lengths, out_positive, out_negative)
+    )
+    if csr.number_of_nodes() > threshold or not lockstep_safe:
+        for row, source_id in enumerate(id_list):
+            per_source(row, source_id)
+        return tokens
+    for start in range(0, len(id_list), chunk_size):
+        chunk = id_list[start : start + chunk_size]
+        stop = start + len(chunk)
+        try:
+            # Contiguous row blocks reshape to the flat k x n state space the
+            # lockstep core works on — the buffer IS the working memory.
+            _lockstep_signed_bfs_into(
+                csr,
+                chunk,
+                out_lengths[start:stop].reshape(-1),
+                out_positive[start:stop].reshape(-1),
+                out_negative[start:stop].reshape(-1),
+            )
+            tokens.extend([True] * len(chunk))
+        except OverflowError:
+            for offset, source_id in enumerate(chunk):
+                per_source(start + offset, source_id)
+    return tokens
 
 
 def multi_source_signed_bfs(
@@ -798,27 +932,75 @@ def shortest_path_lengths_dense_batch(
     for start in range(0, len(id_list), chunk_size):
         ids = id_list[start : start + chunk_size]
         k = len(ids)
-        lengths = np.full(k * num_nodes, UNREACHABLE, dtype=np.int32)
-        flat_sources = (
-            np.arange(k, dtype=np.int64) * num_nodes
-            + np.asarray(ids, dtype=np.int64)
-        )
-        lengths[flat_sources] = 0
-        frontier = flat_sources
-        depth = 0
-        while frontier.size:
-            targets, _signs, _origins = _batched_neighbor_ranges(
-                csr, frontier, num_nodes
-            )
-            if targets.size == 0:
-                break
-            undiscovered = targets[lengths[targets] == UNREACHABLE]
-            lengths[undiscovered] = depth + 1
-            frontier = _next_frontier(undiscovered, lengths, depth + 1)
-            depth += 1
+        lengths = np.empty(k * num_nodes, dtype=np.int32)
+        _lockstep_path_lengths_into(csr, ids, lengths)
         grid = lengths.reshape(k, num_nodes)
         results.extend(grid[row].copy() for row in range(k))
     return results
+
+
+def _lockstep_path_lengths_into(
+    csr: CSRSignedGraph, source_ids: Sequence[int], lengths: np.ndarray
+) -> None:
+    """Lockstep core of the multi-source distance sweep, writing in place.
+
+    ``lengths`` is a flat ``k * n`` int32 state space (initialised here) —
+    a fresh allocation or a contiguous block of result-arena rows.
+    """
+    num_nodes = csr.number_of_nodes()
+    k = len(source_ids)
+    lengths.fill(UNREACHABLE)
+    flat_sources = (
+        np.arange(k, dtype=np.int64) * num_nodes
+        + np.asarray(source_ids, dtype=np.int64)
+    )
+    lengths[flat_sources] = 0
+    frontier = flat_sources
+    depth = 0
+    while frontier.size:
+        targets, _signs, _origins = _batched_neighbor_ranges(
+            csr, frontier, num_nodes
+        )
+        if targets.size == 0:
+            break
+        undiscovered = targets[lengths[targets] == UNREACHABLE]
+        lengths[undiscovered] = depth + 1
+        frontier = _next_frontier(undiscovered, lengths, depth + 1)
+        depth += 1
+
+
+def shortest_path_lengths_dense_batch_into(
+    csr: CSRSignedGraph,
+    source_ids: Sequence[int],
+    out_lengths: np.ndarray,
+    chunk_size: int = DEFAULT_BATCH_CHUNK,
+    lockstep_threshold: Optional[int] = None,
+) -> List[Optional[bool]]:
+    """:func:`shortest_path_lengths_dense_batch` into a ``(k, n)`` buffer.
+
+    Row ``i`` of ``out_lengths`` (``int32``, typically shared-memory
+    result-arena rows the parent reads back zero-copy) receives
+    ``source_ids[i]``'s distance map, bit-identical to the allocating batch.
+    Returns one ``True`` token per source for uniformity with
+    :func:`signed_bfs_dense_batch_into` (distance sweeps cannot overflow).
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    threshold = (
+        LOCKSTEP_NODE_THRESHOLD if lockstep_threshold is None else lockstep_threshold
+    )
+    id_list = list(source_ids)
+    # Same contiguity guard as signed_bfs_dense_batch_into: the lockstep
+    # reshape must not silently copy out of the caller's buffer.
+    if csr.number_of_nodes() > threshold or not out_lengths.flags["C_CONTIGUOUS"]:
+        for row, source_id in enumerate(id_list):
+            _shortest_path_lengths_array_into(csr, source_id, out_lengths[row])
+        return [True] * len(id_list)
+    for start in range(0, len(id_list), chunk_size):
+        ids = id_list[start : start + chunk_size]
+        stop = start + len(ids)
+        _lockstep_path_lengths_into(csr, ids, out_lengths[start:stop].reshape(-1))
+    return [True] * len(id_list)
 
 
 def multi_source_shortest_path_lengths_csr(

@@ -43,6 +43,29 @@ class TestParser:
         arguments = parser.parse_args(["streaming", "toy", "--workers", "2"])
         assert arguments.workers == 2
 
+    def test_execution_flags_reject_bad_values_at_parse_time(self, capsys):
+        """Bad --workers/--chunk-size must exit 2 with an explanatory message
+        instead of surfacing an opaque ValueError at first kernel dispatch."""
+        parser = build_parser()
+        cases = [
+            (["table2", "--workers", "-5"], "workers must be -1"),
+            (["table2", "--workers", "many"], "integer worker count"),
+            (["streaming", "toy", "--chunk-size", "0"], "chunk-size must be a positive"),
+            (["reproduce", "--chunk-size", "-4"], "chunk-size must be a positive"),
+            (["figure2", "--chunk-size", "wide"], "integer chunk size"),
+        ]
+        for argv, fragment in cases:
+            with pytest.raises(SystemExit) as excinfo:
+                parser.parse_args(argv)
+            assert excinfo.value.code == 2
+            assert fragment in capsys.readouterr().err
+
+    def test_serial_worker_spellings_stay_legal(self):
+        parser = build_parser()
+        assert parser.parse_args(["table2", "--workers", "0"]).workers == 0
+        assert parser.parse_args(["table2", "--workers", "1"]).workers == 1
+        assert parser.parse_args(["table2", "--workers", "-1"]).workers == -1
+
 
 class TestDatasetsCommand:
     def test_lists_datasets(self, capsys):

@@ -265,6 +265,53 @@ class TestOtherKernels:
         assert sorted(view, key=repr) == [0, 1]
         assert sorted(view.keys(), key=repr) == [0, 1]
 
+    @pytest.mark.parametrize("seed", range(3))
+    def test_write_into_batches_match_allocating_batches(self, seed):
+        """The ``*_into`` cores (result shipping) fill caller buffers with the
+        exact bytes the allocating batches return — including through
+        non-contiguous buffers, which must route around the lockstep reshape
+        instead of silently writing into a copy."""
+        from repro.signed.csr import (
+            shortest_path_lengths_dense_batch,
+            shortest_path_lengths_dense_batch_into,
+            signed_bfs_dense_batch,
+            signed_bfs_dense_batch_into,
+        )
+
+        graph = random_signed_graph(seed)
+        csr = graph.csr_view()
+        n = csr.number_of_nodes()
+        dense = list(range(0, n, 3))
+        k = len(dense)
+        expected = signed_bfs_dense_batch(csr, dense)
+        buffers = [
+            (  # contiguous: the lockstep fast path
+                np.empty((k, n), dtype=np.int32),
+                np.empty((k, n), dtype=np.int64),
+                np.empty((k, n), dtype=np.int64),
+            ),
+            (  # non-contiguous column slices: must take the per-source path
+                np.empty((k, n + 3), dtype=np.int32)[:, :n],
+                np.empty((k, n + 3), dtype=np.int64)[:, :n],
+                np.empty((k, n + 3), dtype=np.int64)[:, :n],
+            ),
+        ]
+        for lengths, positive, negative in buffers:
+            tokens = signed_bfs_dense_batch_into(csr, dense, lengths, positive, negative)
+            assert tokens == [True] * k
+            for row, triple in enumerate(expected):
+                assert np.array_equal(lengths[row], triple[0])
+                assert np.array_equal(positive[row], triple[1])
+                assert np.array_equal(negative[row], triple[2])
+        expected_lengths = shortest_path_lengths_dense_batch(csr, dense)
+        for out in (
+            np.empty((k, n), dtype=np.int32),
+            np.empty((k, n + 5), dtype=np.int32)[:, :n],
+        ):
+            assert shortest_path_lengths_dense_batch_into(csr, dense, out) == [True] * k
+            for row, arr in enumerate(expected_lengths):
+                assert np.array_equal(out[row], arr)
+
     def test_nodes_returns_defensive_copy(self, two_factions):
         csr = CSRSignedGraph.from_signed_graph(two_factions)
         mutated = csr.nodes()
