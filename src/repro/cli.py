@@ -9,13 +9,18 @@ Installed as ``repro-teams`` (see ``pyproject.toml``); also runnable as
 * ``reproduce`` — run the full experiment suite (all tables and figures);
 * ``table2`` / ``figure2`` — run just that experiment;
 * ``streaming`` — run the dynamic-graph workload: edge churn interleaved with
-  team-formation queries over the generation-keyed caches.
+  team-formation queries over the generation-keyed caches;
+* ``snapshot save|load|info`` — write a dataset's indexed graph to a
+  ``.store`` snapshot file, load one back (memory-mapped by default), or
+  inspect a file's header and plane layout without numpy.
 
 The experiment commands (``table2``, ``figure2``, ``streaming`` and
 ``reproduce``) take ``--workers N`` / ``--chunk-size M`` to fan the
 per-source kernel sweeps out over a process pool
-(:class:`repro.exec.ExecutionPolicy`); the default is serial, so existing
-invocations are unchanged, and results are identical in every mode.
+(:class:`repro.exec.ExecutionPolicy`), and ``--snapshot-store DIR`` to ship
+pool snapshots as memory-mapped files instead of shared memory; the default
+is serial, so existing invocations are unchanged, and results are identical
+in every mode.
 """
 
 from __future__ import annotations
@@ -88,6 +93,47 @@ def _chunk_size_argument(value: str) -> int:
     return chunk_size
 
 
+def _snapshot_store_argument(value: str) -> str:
+    """Validate ``--snapshot-store``: an existing directory for store files.
+
+    Shares its rule with :meth:`repro.exec.ExecutionPolicy.__post_init__` via
+    :func:`repro.exec.policy.validate_snapshot_store`, so the policy layer and
+    the CLI reject the same values with the same message.
+    """
+    from repro.exec.policy import validate_snapshot_store
+
+    try:
+        validate_snapshot_store(value, name="snapshot-store")
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return value
+
+
+def _snapshot_file_argument(value: str) -> str:
+    """Validate a snapshot path that must already exist (``load`` / ``info``)."""
+    import os
+
+    if not value:
+        raise argparse.ArgumentTypeError("expected a snapshot file path")
+    if not os.path.isfile(value):
+        raise argparse.ArgumentTypeError(f"snapshot file does not exist: {value!r}")
+    return value
+
+
+def _snapshot_output_argument(value: str) -> str:
+    """Validate a snapshot output path: its parent directory must exist."""
+    import os
+
+    if not value:
+        raise argparse.ArgumentTypeError("expected an output file path")
+    parent = os.path.dirname(os.path.abspath(value))
+    if not os.path.isdir(parent):
+        raise argparse.ArgumentTypeError(
+            f"output directory does not exist: {parent!r} (create it first)"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -134,6 +180,14 @@ def build_parser() -> argparse.ArgumentParser:
             type=_chunk_size_argument,
             default=None,
             help="sources per worker task (default: derived per dispatch)",
+        )
+        subparser.add_argument(
+            "--snapshot-store",
+            type=_snapshot_store_argument,
+            default=None,
+            metavar="DIR",
+            help="existing directory to publish pool snapshots as memory-mapped "
+            "files instead of shared memory (default: shared memory)",
         )
 
     reproduce_parser = subparsers.add_parser("reproduce", help="run all tables and figures")
@@ -189,15 +243,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default="auto", choices=("auto", "dict", "csr")
     )
     add_execution_flags(streaming_parser)
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot", help="save, load or inspect on-disk graph snapshots"
+    )
+    snapshot_subparsers = snapshot_parser.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+    snapshot_save = snapshot_subparsers.add_parser(
+        "save", help="index a dataset's graph and save it as a snapshot file"
+    )
+    snapshot_save.add_argument("dataset", choices=sorted(available()))
+    snapshot_save.add_argument("path", type=_snapshot_output_argument)
+    snapshot_save.add_argument("--seed", type=int, default=None)
+    snapshot_save.add_argument("--scale", type=float, default=None)
+    snapshot_load = snapshot_subparsers.add_parser(
+        "load", help="load a snapshot (memory-mapped) and print a summary"
+    )
+    snapshot_load.add_argument("path", type=_snapshot_file_argument)
+    snapshot_load.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="read the planes into memory instead of memory-mapping them",
+    )
+    snapshot_info_parser = snapshot_subparsers.add_parser(
+        "info", help="print a snapshot's header and plane layout (numpy-free)"
+    )
+    snapshot_info_parser.add_argument("path", type=_snapshot_file_argument)
     return parser
 
 
 def _experiment_config(arguments: argparse.Namespace):
     """Build the experiment configuration an experiment command asked for."""
     config = fast_config() if arguments.fast else default_config()
-    if arguments.workers or arguments.chunk_size is not None:
+    snapshot_store = getattr(arguments, "snapshot_store", None)
+    if arguments.workers or arguments.chunk_size is not None or snapshot_store:
         config = config.with_execution(
-            workers=arguments.workers, chunk_size=arguments.chunk_size
+            workers=arguments.workers,
+            chunk_size=arguments.chunk_size,
+            snapshot_store=snapshot_store,
         )
     return config
 
@@ -295,6 +379,7 @@ def _command_streaming(arguments: argparse.Namespace) -> int:
         backend=arguments.backend,
         workers=arguments.workers,
         chunk_size=arguments.chunk_size,
+        snapshot_store=arguments.snapshot_store,
         algorithms=algorithms,
         num_rounds=arguments.rounds,
         churn_per_round=arguments.churn,
@@ -304,6 +389,48 @@ def _command_streaming(arguments: argparse.Namespace) -> int:
     )
     report = run_streaming(config, verbose=True)
     print(report.as_text())
+    return 0
+
+
+def _command_snapshot(arguments: argparse.Namespace) -> int:
+    if arguments.snapshot_command == "save":
+        from repro.signed.csr import CSRSignedGraph
+        from repro.signed.store import save_snapshot, snapshot_info
+
+        dataset = load_dataset(
+            arguments.dataset, seed=arguments.seed, scale=arguments.scale
+        )
+        csr = CSRSignedGraph.from_signed_graph(dataset.graph)
+        save_snapshot(csr, arguments.path)
+        info = snapshot_info(arguments.path)
+        print(
+            f"Saved {dataset.name}: {info['num_nodes']} nodes, "
+            f"{info['num_edges']} edges, {info['file_nbytes']} bytes "
+            f"-> {arguments.path}"
+        )
+        return 0
+    if arguments.snapshot_command == "load":
+        from repro.signed.store import load_snapshot
+
+        csr = load_snapshot(arguments.path, mmap=not arguments.no_mmap)
+        mode = "read into memory" if arguments.no_mmap else "memory-mapped"
+        print(
+            f"Loaded snapshot ({mode}): {csr.number_of_nodes()} nodes, "
+            f"{csr.number_of_edges()} edges, generation {csr.generation}"
+        )
+        return 0
+    from repro.signed.store import snapshot_info
+
+    info = snapshot_info(arguments.path)
+    rows = [[key, str(value)] for key, value in info.items() if key != "planes"]
+    rows += [
+        [
+            f"plane:{name}",
+            f"dtype={plane['dtype']} count={plane['count']} offset={plane['offset']}",
+        ]
+        for name, plane in info["planes"].items()
+    ]
+    print(format_table(["field", "value"], rows, title=f"Snapshot {arguments.path}"))
     return 0
 
 
@@ -319,6 +446,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "table2": _command_table2,
         "figure2": _command_figure2,
         "streaming": _command_streaming,
+        "snapshot": _command_snapshot,
     }
     return handlers[arguments.command](arguments)
 

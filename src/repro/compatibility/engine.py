@@ -292,7 +292,7 @@ class CompatibilityEngine:
             else:
                 missing.append(member)
         if missing and self._policy.parallel:
-            import numpy as np
+            from repro.utils.bitset import unpack_mask
 
             # Members whose BFS results already sit in the relation's cache
             # (earlier pair queries, a warm()) must not pay a fresh worker-side
@@ -321,7 +321,7 @@ class CompatibilityEngine:
                 if packed is None:
                     uncached.append(member)
                     continue
-                mask = np.unpackbits(packed, count=len(nodes_tag)).view(np.bool_)
+                mask = unpack_mask(packed, len(nodes_tag))
                 self._mask_cache[member] = (nodes_tag, mask)
                 masks[member] = (mask, None)
             missing = uncached

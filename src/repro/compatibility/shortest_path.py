@@ -387,6 +387,8 @@ class _ShortestPathRelation(CompatibilityRelation):
         """Pool path of :meth:`batch_compatible_sets`: bitmaps in, frozensets out."""
         import numpy as np
 
+        from repro.utils.bitset import unpack_mask
+
         csr = self._graph.csr_view()
         nodes = csr._nodes
         sets: List[FrozenSet[Node]] = []
@@ -399,7 +401,7 @@ class _ShortestPathRelation(CompatibilityRelation):
                 computed.add(source)
                 sets.append(frozenset(computed))
                 continue
-            mask = np.unpackbits(packed, count=len(nodes))
+            mask = unpack_mask(packed, len(nodes))
             sets.append(frozenset(nodes[dense] for dense in np.flatnonzero(mask)))
         return sets
 

@@ -16,18 +16,112 @@ is applied (exactly what the paper itself does for Wikipedia).
 
 from __future__ import annotations
 
+import hashlib
+import os
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.datasets.synthetic import SignedDataset
 from repro.exceptions import DatasetError
 from repro.signed.components import largest_connected_component
+from repro.signed.graph import SignedGraph
 from repro.signed.io import read_edge_list
 from repro.skills.generators import assign_skills_zipf
 from repro.skills.io import read_assignment, read_user_skill_pairs
+from repro.utils.optional import numpy_available
 from repro.utils.rng import RandomState
 
 PathLike = Union[str, Path]
+
+#: Environment variable consulted when no explicit ``snapshot_cache_dir`` is
+#: passed to :func:`load_snap_dataset`.  Unset (and no argument) means the
+#: parse-once cache is disabled and every load parses the edge list.
+SNAPSHOT_CACHE_ENV = "REPRO_SNAPSHOT_CACHE_DIR"
+
+
+def _snapshot_cache_dir(explicit: Optional[PathLike]) -> Optional[Path]:
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(SNAPSHOT_CACHE_ENV)
+    return Path(env) if env else None
+
+
+def _snapshot_cache_file(
+    cache_dir: Path,
+    edges_file: Path,
+    restrict_to_lcc: bool,
+    directed_to_undirected: str,
+) -> Path:
+    """Cache filename for one (source file, mtime, size, parse options) key.
+
+    The key covers every input that affects the *parsed graph*: the resolved
+    source path, its mtime and size (so edits invalidate the entry), and the
+    parse options.  Skill parameters are deliberately excluded — skills are
+    derived from the cached graph on every load, so one cache entry serves
+    all skill configurations.
+    """
+    stat = edges_file.stat()
+    payload = repr(
+        (
+            str(edges_file),
+            stat.st_mtime_ns,
+            stat.st_size,
+            restrict_to_lcc,
+            directed_to_undirected,
+        )
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+    return cache_dir / f"parse-{digest}.store"
+
+
+def _parse_edge_list_cached(
+    edges_path: PathLike,
+    restrict_to_lcc: bool,
+    directed_to_undirected: str,
+    snapshot_cache_dir: Optional[PathLike],
+) -> SignedGraph:
+    """Parse an edge list, going through the snapshot-store cache when enabled.
+
+    A cache hit memory-maps the stored CSR planes and rebuilds the dict graph
+    in the exact node/edge order the original parse produced, so everything
+    keyed off node order (Zipf skill assignment in particular) is bit-identical
+    to a cold parse.  Corrupt or unreadable cache entries fall back to parsing
+    and are rewritten.
+    """
+
+    def parse() -> SignedGraph:
+        graph = read_edge_list(
+            edges_path, directed_to_undirected=directed_to_undirected
+        )
+        if graph.number_of_nodes() == 0:
+            raise DatasetError(f"edge list {edges_path} produced an empty graph")
+        if restrict_to_lcc:
+            graph = largest_connected_component(graph)
+        return graph
+
+    cache_dir = _snapshot_cache_dir(snapshot_cache_dir)
+    if cache_dir is None or not numpy_available():
+        return parse()
+
+    from repro.signed.csr import CSRSignedGraph
+    from repro.signed.store import load_snapshot, save_snapshot
+
+    edges_file = Path(edges_path).resolve()
+    cache_file = _snapshot_cache_file(
+        cache_dir, edges_file, restrict_to_lcc, directed_to_undirected
+    )
+    if cache_file.exists():
+        try:
+            return load_snapshot(cache_file, mmap=True).to_signed_graph()
+        except (ValueError, OSError):
+            pass  # stale/corrupt entry: reparse and overwrite below
+    graph = parse()
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    try:
+        save_snapshot(CSRSignedGraph.from_signed_graph(graph), cache_file)
+    except OSError:
+        pass  # a read-only or full cache directory must not fail the load
+    return graph
 
 
 def load_snap_dataset(
@@ -39,6 +133,7 @@ def load_snap_dataset(
     restrict_to_lcc: bool = True,
     directed_to_undirected: str = "negative_wins",
     seed: RandomState = 0,
+    snapshot_cache_dir: Optional[PathLike] = None,
 ) -> SignedDataset:
     """Load a signed network from a SNAP-style edge list plus optional skills.
 
@@ -63,12 +158,17 @@ def load_snap_dataset(
         :func:`repro.signed.io.parse_edge_list`.
     seed:
         Seed for the synthetic skill model.
+    snapshot_cache_dir:
+        Directory for the parse-once snapshot cache.  When set (or when the
+        ``REPRO_SNAPSHOT_CACHE_DIR`` environment variable names a directory),
+        the parsed graph is saved as a ``.store`` snapshot keyed by the source
+        file's path, mtime, size and parse options; subsequent loads
+        memory-map the snapshot instead of re-parsing.  Requires numpy; on
+        numpy-free installs the cache is silently skipped.
     """
-    graph = read_edge_list(edges_path, directed_to_undirected=directed_to_undirected)
-    if graph.number_of_nodes() == 0:
-        raise DatasetError(f"edge list {edges_path} produced an empty graph")
-    if restrict_to_lcc:
-        graph = largest_connected_component(graph)
+    graph = _parse_edge_list_cached(
+        edges_path, restrict_to_lcc, directed_to_undirected, snapshot_cache_dir
+    )
 
     if skills_path is not None:
         skills_file = Path(skills_path)

@@ -79,7 +79,9 @@ class ResultArena:
 
 def mask_width(num_nodes: int) -> int:
     """Bytes per packed compatible-set bitmap row (``ceil(n / 8)``)."""
-    return (num_nodes + 7) // 8
+    from repro.utils.bitset import mask_nbytes
+
+    return mask_nbytes(num_nodes)
 
 
 def _plane_specs(kernel: str, num_nodes: int) -> Tuple[_ResultPlane, ...]:

@@ -144,9 +144,8 @@ def csr_compatible_masks(csr, sources: Sequence[int], params: dict) -> List:
     bitmap yields exactly the membership of the serial path's
     ``compatible_nodes(rule_mask) + {source}``.
     """
-    import numpy as np
-
     from repro.signed.csr import UNREACHABLE, signed_bfs_dense_batch
+    from repro.utils.bitset import pack_mask
 
     rule = _pair_rule_mask_for(params["rule"])
     triples = signed_bfs_dense_batch(
@@ -163,7 +162,7 @@ def csr_compatible_masks(csr, sources: Sequence[int], params: dict) -> List:
         lengths, positive, negative = triple
         mask = rule(positive, negative) & (lengths != UNREACHABLE)
         mask[source] = True
-        masks.append(np.packbits(mask))
+        masks.append(pack_mask(mask))
     return masks
 
 

@@ -100,6 +100,16 @@ class ExecutionPolicy:
         layout would exceed it falls back to pickled result shipping (still
         parallel).  ``0`` disables the check.  The default (256 MiB) admits a
         full 50k-node, 150-source BFS sweep with headroom.
+    snapshot_store:
+        ``None`` (the default) publishes snapshots to workers through
+        ``multiprocessing.shared_memory`` segments.  A directory path
+        switches publishing to *file-backed* mode: the parent saves the CSR
+        snapshot once into that directory (:mod:`repro.signed.store` format)
+        and workers ``numpy.memmap`` the file read-only — same
+        ``(identity, generation)`` keying, same churn republish, same ledger
+        cleanup, bit-identical results.  Use it to keep huge snapshots out
+        of ``/dev/shm``, to share one page-cache copy across many worker
+        generations, or to leave a warm store file behind for the next run.
     lockstep_node_threshold:
         Override for :data:`repro.signed.csr.LOCKSTEP_NODE_THRESHOLD`
         (``None`` keeps the library default): the graph size above which the
@@ -131,6 +141,7 @@ class ExecutionPolicy:
     min_parallel_sources: int = 4
     result_arena: bool = True
     arena_budget_bytes: int = 256 * 2**20
+    snapshot_store: Optional[str] = None
     lockstep_node_threshold: Optional[int] = None
     csr_auto_level_threshold: Optional[int] = None
     compatible_cache_size: CacheSize = "auto"
@@ -157,6 +168,8 @@ class ExecutionPolicy:
                 "arena_budget_bytes must be >= 0 (0 disables the budget), "
                 f"got {self.arena_budget_bytes}"
             )
+        if self.snapshot_store is not None:
+            validate_snapshot_store(self.snapshot_store)
 
     # ------------------------------------------------------------- resolution
 
@@ -228,6 +241,28 @@ def validate_chunk_size(chunk_size, name: str = "chunk_size") -> None:
         raise ValueError(
             f"{name} must be a positive number of sources per worker "
             f"task (or omitted to derive one per dispatch); got {chunk_size!r}"
+        )
+
+
+def validate_snapshot_store(snapshot_store, name: str = "snapshot_store") -> None:
+    """Raise :class:`ValueError` unless ``snapshot_store`` names a usable directory.
+
+    The directory must already exist (publishing must not silently create
+    trees on mistyped paths) and be a directory — the same single-source
+    rule-and-message discipline as :func:`validate_workers`, shared by
+    policy construction and the CLI's ``--snapshot-store`` validators.
+    """
+    import os
+
+    if not isinstance(snapshot_store, str) or not snapshot_store:
+        raise ValueError(
+            f"{name} must be the path of an existing directory to publish "
+            f"snapshot files into; got {snapshot_store!r}"
+        )
+    if not os.path.isdir(snapshot_store):
+        raise ValueError(
+            f"{name} directory does not exist: {snapshot_store!r} (create it "
+            "first; the pool will not create store directories implicitly)"
         )
 
 

@@ -9,9 +9,14 @@ shape explicit:
   is published once per (object, generation) as three raw arrays in
   ``multiprocessing.shared_memory`` segments; workers map the segments and
   build zero-copy ``numpy`` views — no pickling of the arrays, no node
-  objects (kernels work on dense ids; see :mod:`repro.exec.kernels`).  Dict
-  payloads (:class:`~repro.signed.graph.SignedGraph`) fall back to a pickled
-  copy shipped through a shared-memory blob, once per generation.
+  objects (kernels work on dense ids; see :mod:`repro.exec.kernels`).  With
+  the ``snapshot_store`` policy knob set, publication is *file-backed*
+  instead: the snapshot is saved once into that directory in the
+  :mod:`repro.signed.store` format and workers ``numpy.memmap`` the file
+  read-only — same keying, same cleanup ledger discipline, bit-identical
+  results.  Dict payloads (:class:`~repro.signed.graph.SignedGraph`) fall
+  back to a pickled copy shipped through a shared-memory blob, once per
+  generation.
 * **Generation checking.**  A publication is keyed by the payload's identity
   *and* its ``generation``; a mutated graph (or a fresh snapshot after a
   churn batch) republishes automatically, so workers can never serve results
@@ -45,6 +50,7 @@ from __future__ import annotations
 
 import atexit
 import math
+import os
 import pickle
 import random
 import warnings
@@ -132,6 +138,39 @@ def _flush_segment_ledger() -> None:
     _sweep_retired_segments()
 
 
+#: Parent-owned ledger of snapshot-store files published for workers and not
+#: yet unlinked — the file-backed counterpart of :data:`_SEGMENT_LEDGER`.
+#: Normal operation removes entries when a publication is released;
+#: :func:`shutdown_pools` flushes the rest, so a crashed dispatch cannot
+#: strand ``*.store`` files in the policy's ``snapshot_store`` directory.
+_STORE_FILE_LEDGER: Dict[str, None] = {}
+
+
+def _store_discard(path: str, unlink: bool = True) -> None:
+    """Drop ``path`` from the store-file ledger and unlink it (best-effort)."""
+    _STORE_FILE_LEDGER.pop(path, None)
+    if unlink:
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+def _flush_store_ledger() -> None:
+    """Unlink every published store file still on the ledger, plus any
+    in-flight store temp files (crash/interrupt leftovers)."""
+    import sys
+
+    for path in list(_STORE_FILE_LEDGER):
+        _store_discard(path)
+    # sys.modules lookup instead of an import: this also runs atexit, where
+    # importing is fragile — and if the store module was never imported, no
+    # temp file can exist either.
+    store = sys.modules.get("repro.signed.store")
+    if store is not None:
+        store.flush_temp_files()
+
+
 #: Degradation stages already warned about, shared across every executor
 #: instance in the process.  A freshly constructed relation (hence executor)
 #: on a pool-less or numpy-free host must not re-warn on every construction —
@@ -170,16 +209,20 @@ class _ShmArray:
 class SnapshotDescriptor:
     """What a worker needs to reconstruct a shipped payload.
 
-    ``kind`` is ``"csr"`` (three array segments + node count) or ``"pickle"``
-    (one blob segment holding a pickled :class:`SignedGraph`).  The
-    ``publish_id`` is unique per publication, which is what worker-side caches
-    key on — a republished (mutated) payload always gets a fresh id.
+    ``kind`` is ``"csr"`` (three array segments + node count), ``"pickle"``
+    (one blob segment holding a pickled :class:`SignedGraph`), or ``"store"``
+    (no segments: ``store_path`` names a :mod:`repro.signed.store` file the
+    worker ``numpy.memmap``\\ s read-only — the file-backed publish mode of
+    the ``snapshot_store`` policy knob).  The ``publish_id`` is unique per
+    publication, which is what worker-side caches key on — a republished
+    (mutated) payload always gets a fresh id.
     """
 
     publish_id: int
     kind: str
     segments: Tuple[_ShmArray, ...]
     num_nodes: int = 0
+    store_path: Optional[str] = None
 
 
 # ------------------------------------------------------------------ worker side
@@ -230,6 +273,19 @@ def _attach_payload(descriptor: SnapshotDescriptor):
     if cached is not None:
         _WORKER_PAYLOADS.move_to_end(descriptor.publish_id)
         return cached[0]
+    if descriptor.kind == "store":
+        # File-backed publication: map the published store file read-only.
+        # The node table is skipped — like the shm path, workers get dense
+        # placeholder nodes and an empty index; kernels touch only the flat
+        # arrays.  The memmaps keep the file readable even after the parent
+        # unlinks it on release (POSIX semantics, same as shm segments).
+        from repro.signed.store import load_snapshot
+
+        payload = load_snapshot(descriptor.store_path, mmap=True, node_table=False)
+        _WORKER_PAYLOADS[descriptor.publish_id] = (payload, [])
+        while len(_WORKER_PAYLOADS) > _WORKER_CACHE_BOUND:
+            _evict_oldest_payload()
+        return payload
     shared_memory = _require_shared_memory()
     if descriptor.kind == "csr":
         import numpy as np
@@ -265,13 +321,18 @@ def _attach_payload(descriptor: SnapshotDescriptor):
         handles = []
     _WORKER_PAYLOADS[descriptor.publish_id] = (payload, handles)
     while len(_WORKER_PAYLOADS) > _WORKER_CACHE_BOUND:
-        _, (_old_payload, old_handles) = _WORKER_PAYLOADS.popitem(last=False)
-        for handle in old_handles:
-            try:
-                handle.close()
-            except BufferError:  # a stray view still references the buffer
-                _RETIRED_HANDLES.append(handle)
+        _evict_oldest_payload()
     return payload
+
+
+def _evict_oldest_payload() -> None:
+    """Drop the least-recently-used cached payload, closing its attachments."""
+    _, (_old_payload, old_handles) = _WORKER_PAYLOADS.popitem(last=False)
+    for handle in old_handles:
+        try:
+            handle.close()
+        except BufferError:  # a stray view still references the buffer
+            _RETIRED_HANDLES.append(handle)
 
 
 def _chunk_seed(base_seed: int, chunk_index: int) -> int:
@@ -317,15 +378,22 @@ def _run_arena_chunk(arena: ResultArena, payload, sources, params, start: int):
 
 
 class _Published:
-    """Parent-side record of one shipped payload."""
+    """Parent-side record of one shipped payload.
 
-    __slots__ = ("descriptor", "handles", "generation", "ref")
+    ``store_dir`` records which ``snapshot_store`` setting the publication
+    was built under (``None`` = shared memory): executors with different
+    settings share one pool handle, and a publication is only reused by an
+    executor whose mode matches — otherwise it is released and rebuilt.
+    """
 
-    def __init__(self, descriptor, handles, generation, ref) -> None:
+    __slots__ = ("descriptor", "handles", "generation", "ref", "store_dir")
+
+    def __init__(self, descriptor, handles, generation, ref, store_dir=None) -> None:
         self.descriptor = descriptor
         self.handles = handles
         self.generation = generation
         self.ref = ref
+        self.store_dir = store_dir
 
 
 class _PoolHandle:
@@ -396,13 +464,15 @@ class _PoolHandle:
 
     # ------------------------------------------------------------- publishing
 
-    def publish(self, payload) -> SnapshotDescriptor:
+    def publish(self, payload, store_dir: Optional[str] = None) -> SnapshotDescriptor:
         """Ship ``payload`` to the workers (reusing a live publication).
 
-        A publication is reused only while the payload object is the same
-        *and* its ``generation`` is unchanged — a churn batch on a
-        :class:`SignedGraph`, or the fresh snapshot it produces, republishes
-        automatically (the generation check of the tentpole).
+        A publication is reused only while the payload object is the same,
+        its ``generation`` is unchanged *and* the publish mode matches — a
+        churn batch on a :class:`SignedGraph`, or the fresh snapshot it
+        produces, republishes automatically (the generation check of the
+        tentpole), and so does a policy switch between shared-memory and
+        file-backed (``store_dir``) publishing.
         """
         key = id(payload)
         generation = getattr(payload, "generation", None)
@@ -411,12 +481,13 @@ class _PoolHandle:
             entry is not None
             and entry.ref() is payload
             and entry.generation == generation
+            and entry.store_dir == store_dir
         ):
             return entry.descriptor
         if entry is not None:
             self.release(key)
         try:
-            descriptor, handles = self._build(payload)
+            descriptor, handles = self._build(payload, store_dir)
         except ExecutorUnavailable:
             raise
         except Exception as error:
@@ -426,6 +497,7 @@ class _PoolHandle:
             handles,
             generation,
             weakref.ref(payload, lambda _ref, key=key: self.release(key)),
+            store_dir=store_dir,
         )
         # Invariant: publish_order holds each *live* key exactly once, oldest
         # publish first.  A republish (same object, new generation) moves its
@@ -443,12 +515,38 @@ class _PoolHandle:
             self.release(self.publish_order.popleft())
         return descriptor
 
-    def _build(self, payload) -> Tuple[SnapshotDescriptor, list]:
-        shared_memory = _require_shared_memory()
+    def _build(
+        self, payload, store_dir: Optional[str] = None
+    ) -> Tuple[SnapshotDescriptor, list]:
         publish_id = self._next_publish_id
         self._next_publish_id += 1
         from repro.signed.graph import SignedGraph
 
+        if store_dir is not None and not isinstance(payload, SignedGraph):
+            # File-backed publication: persist the CSR snapshot once into the
+            # policy's store directory; workers memmap it read-only.  The
+            # file joins the store-file ledger the moment it exists, so even
+            # a dispatch that dies before release cannot strand it past
+            # shutdown_pools().  Save failures surface as ExecutorUnavailable
+            # through publish()'s wrapper → the usual serial degradation.
+            # (Dict payloads keep the pickle-blob path: the store format is
+            # CSR-specific.)
+            from repro.signed.store import save_snapshot
+
+            path = os.path.join(
+                store_dir, f"snapshot-{os.getpid()}-{publish_id}.store"
+            )
+            save_snapshot(payload, path)
+            _STORE_FILE_LEDGER[path] = None
+            descriptor = SnapshotDescriptor(
+                publish_id=publish_id,
+                kind="store",
+                segments=(),
+                num_nodes=payload.number_of_nodes(),
+                store_path=path,
+            )
+            return descriptor, []
+        shared_memory = _require_shared_memory()
         if isinstance(payload, SignedGraph):
             # copy() strips the CSR cache, delta log and touched-node maps —
             # workers only need the adjacency (same dict insertion order, so
@@ -508,6 +606,9 @@ class _PoolHandle:
             return
         for shm in entry.handles:
             _ledger_discard(shm)
+        path = entry.descriptor.store_path
+        if path is not None:
+            _store_discard(path)
 
     # ----------------------------------------------------------- result arenas
 
@@ -584,6 +685,7 @@ def shutdown_pools() -> None:
         handle.shutdown()
     _POOL_HANDLES.clear()
     _flush_segment_ledger()
+    _flush_store_ledger()
 
 
 atexit.register(shutdown_pools)
@@ -646,7 +748,9 @@ class ProcessPoolExecutor(Executor):
         ):
             return serial_executor().map_kernel(kernel, payload, source_list, params)
         try:
-            descriptor = handle.publish(payload)
+            descriptor = handle.publish(
+                payload, store_dir=self._policy.snapshot_store
+            )
         except ExecutorUnavailable as error:
             handle.mark_failed(payload)
             self._degrade("publish", error)
@@ -659,7 +763,7 @@ class ProcessPoolExecutor(Executor):
         arena = arena_shm = None
         if (
             self._policy.result_arena
-            and descriptor.kind == "csr"
+            and descriptor.kind in ("csr", "store")
             and arena_module.supports(kernel)
         ):
             try:

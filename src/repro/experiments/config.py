@@ -43,6 +43,9 @@ class DatasetConfig:
     workers: int = 0
     #: Sources per worker task (None derives one from batch size and workers).
     chunk_size: Optional[int] = None
+    #: Directory for file-backed snapshot publishing (None = shared memory;
+    #: see :attr:`repro.exec.ExecutionPolicy.snapshot_store`).
+    snapshot_store: Optional[str] = None
 
     def execution_policy(self) -> "ExecutionPolicy":
         """The :class:`~repro.exec.ExecutionPolicy` for this dataset's stacks."""
@@ -52,6 +55,7 @@ class DatasetConfig:
             backend=self.sp_backend,
             workers=self.workers,
             chunk_size=self.chunk_size,
+            snapshot_store=self.snapshot_store,
         )
 
 
@@ -87,19 +91,28 @@ class ExperimentConfig:
         raise KeyError(f"dataset {name!r} is not part of this configuration")
 
     def with_execution(
-        self, workers: int = 0, chunk_size: Optional[int] = None
+        self,
+        workers: int = 0,
+        chunk_size: Optional[int] = None,
+        snapshot_store: Optional[str] = None,
     ) -> "ExperimentConfig":
         """A copy of this configuration with execution knobs applied everywhere.
 
-        Sets ``workers`` / ``chunk_size`` on every dataset, so each relation
-        stack the experiments build runs its per-source kernel sweeps under
-        the corresponding :class:`~repro.exec.ExecutionPolicy`.  The CLI's
-        ``--workers`` / ``--chunk-size`` flags route through this.
+        Sets ``workers`` / ``chunk_size`` / ``snapshot_store`` on every
+        dataset, so each relation stack the experiments build runs its
+        per-source kernel sweeps under the corresponding
+        :class:`~repro.exec.ExecutionPolicy`.  The CLI's ``--workers`` /
+        ``--chunk-size`` / ``--snapshot-store`` flags route through this.
         """
         return replace(
             self,
             datasets=tuple(
-                replace(dataset, workers=workers, chunk_size=chunk_size)
+                replace(
+                    dataset,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    snapshot_store=snapshot_store,
+                )
                 for dataset in self.datasets
             ),
         )

@@ -58,6 +58,9 @@ class StreamingConfig:
     workers: int = 0
     #: Sources per worker task (None derives one per dispatch).
     chunk_size: Optional[int] = None
+    #: Directory for file-backed snapshot publishing (None = shared memory;
+    #: see :attr:`repro.exec.ExecutionPolicy.snapshot_store`).
+    snapshot_store: Optional[str] = None
     #: Deterministic algorithms evaluated each round.
     algorithms: Tuple[str, ...] = ("LCMD", "LCMC", "RFMD", "RFMC")
     #: Number of churn+query rounds.
@@ -235,6 +238,7 @@ def run_streaming(
         backend=config.backend,
         workers=config.workers,
         chunk_size=config.chunk_size,
+        snapshot_store=config.snapshot_store,
     )
     relation = make_relation(config.relation, graph, policy=policy)
     oracle = DistanceOracle(relation)

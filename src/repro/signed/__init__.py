@@ -38,11 +38,20 @@ _CSR_EXPORTS = (
 )
 
 
+# The snapshot store (repro.signed.store) is importable without numpy but
+# its save/load paths require it; exported lazily alongside the CSR backend.
+_STORE_EXPORTS = ("save_snapshot", "load_snapshot", "snapshot_info")
+
+
 def __getattr__(name):
     if name in _CSR_EXPORTS:
         from repro.signed import csr
 
         return getattr(csr, name)
+    if name in _STORE_EXPORTS:
+        from repro.signed import store
+
+        return getattr(store, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.signed.components import connected_components, largest_connected_component, is_connected
 from repro.signed.metrics import (
@@ -111,6 +120,9 @@ __all__ = [
     "CSRSignedGraph",
     "CSRSignedBFSResult",
     "CSRLengths",
+    "save_snapshot",
+    "load_snapshot",
+    "snapshot_info",
     "balanced_heuristic_search_csr",
     "signed_bfs_csr",
     "shortest_path_lengths_csr",

@@ -79,6 +79,17 @@ DEFAULT_BATCH_CHUNK = 64
 #: lockstep is ~1.5x faster at n=2k and ~1.6x *slower* at n=50k.
 LOCKSTEP_NODE_THRESHOLD = 4096
 
+#: Minimum batch size for the word-parallel kernels to engage on large
+#: graphs (above :data:`LOCKSTEP_NODE_THRESHOLD`, where lockstep has bowed
+#: out).  Word-parallel BFS advances up to 64 sources through ONE adjacency
+#: gather per level: frontier/visited state lives in per-node ``uint64``
+#: words (bit b = "source b is here"), so in a low-diameter graph — where
+#: nearby sources' frontiers overlap heavily after a couple of levels — the
+#: union frontier is far smaller than the sum of per-source frontiers.
+#: Below a handful of sources there is no union to exploit and the
+#: per-source traversals' simpler inner loop wins.
+WORDPARALLEL_MIN_SOURCES = 8
+
 
 class CSRSignedGraph:
     """An immutable compressed-sparse-row snapshot of a signed graph.
@@ -253,6 +264,61 @@ class CSRSignedGraph:
     ) -> "CSRSignedGraph":
         """Build from ``(u, v, sign)`` triples, via an intermediate :class:`SignedGraph`."""
         return cls.from_signed_graph(SignedGraph.from_edges(edges, nodes=nodes))
+
+    # ------------------------------------------------------------------ persist
+
+    def save(self, path: str) -> str:
+        """Persist this snapshot to ``path`` in the store format.
+
+        Atomic (temp file + ``os.replace``); see :mod:`repro.signed.store`
+        for the layout.  Returns ``path``.
+        """
+        from repro.signed.store import save_snapshot
+
+        return save_snapshot(self, path)
+
+    @classmethod
+    def load(cls, path: str, mmap: bool = True) -> "CSRSignedGraph":
+        """Load a snapshot previously written by :meth:`save`.
+
+        With ``mmap=True`` the planes are read-only :class:`numpy.memmap`
+        views — cold start is the cost of mapping the file, not of parsing
+        an edge list.  Bit-identical to the saved snapshot either way.
+        """
+        from repro.signed.store import load_snapshot
+
+        return load_snapshot(path, mmap=mmap)
+
+    def to_signed_graph(self) -> SignedGraph:
+        """Rebuild the mutable dict-backend graph this snapshot describes.
+
+        The inverse of :meth:`from_signed_graph`, exactly: node insertion
+        order follows dense-id order and each adjacency dict is filled in
+        CSR row order, so ``CSRSignedGraph.from_signed_graph(csr.to_signed_graph())``
+        reproduces ``indptr``/``indices``/``signs`` bit for bit.  This is what
+        lets the dataset loaders round-trip parsed graphs through the
+        snapshot store without perturbing any downstream result.
+        """
+        graph = SignedGraph()
+        nodes = self._nodes
+        indptr = self.indptr.tolist()
+        indices = self.indices.tolist()
+        signs = self.signs.tolist()
+        # Rows are filled directly (same discipline as SignedGraph.copy): the
+        # public add_edge would insert each neighbour at edge-addition order,
+        # not CSR row order, and the roundtrip would stop being exact.
+        adjacency = graph._adjacency
+        positive_entries = 0
+        for dense, node in enumerate(nodes):
+            row: Dict[Node, Sign] = {}
+            for position in range(indptr[dense], indptr[dense + 1]):
+                row[nodes[indices[position]]] = signs[position]
+                if signs[position] > 0:
+                    positive_entries += 1
+            adjacency[node] = row
+        graph._num_edges = len(indices) // 2
+        graph._num_positive = positive_entries // 2
+        return graph
 
     # ------------------------------------------------------------------ query
 
@@ -730,6 +796,160 @@ def _lockstep_signed_bfs_into(
         depth += 1
 
 
+def _wordparallel_seed(
+    num_nodes: int, source_ids: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Seed state for a word-parallel chunk: ``(ids, bits, frontier)``.
+
+    ``frontier`` is the per-node ``uint64`` word array with source ``i``'s
+    bit set on its source node (``np.bitwise_or.at`` — duplicate sources in
+    one chunk OR into the same word and stay independent traversals).
+    """
+    from repro.utils.bitset import source_bits
+
+    ids = np.asarray(source_ids, dtype=np.int64)
+    bits = source_bits(len(source_ids))
+    frontier = np.zeros(num_nodes, dtype=np.uint64)
+    np.bitwise_or.at(frontier, ids, bits)
+    return ids, bits, frontier
+
+
+def _wordparallel_path_lengths_into(
+    csr: CSRSignedGraph, source_ids: Sequence[int], out_lengths: np.ndarray
+) -> None:
+    """Word-parallel multi-source BFS: up to 64 distance maps per gather.
+
+    Frontier and visited state are packed ``uint64`` words (bit b = "source
+    b"), so one level of ALL the chunk's traversals is one adjacency gather
+    over the *union* frontier, one ``bitwise_or`` scatter, and one
+    ``& ~seen`` — the level expansion the ISSUE calls OR/AND over packed
+    rows.  Row ``b`` of ``out_lengths`` (shape ``(k, n)``, int32; any row
+    layout — writes are per-row) receives source ``b``'s distances,
+    bit-identical to :func:`_shortest_path_lengths_array_into`: BFS depths
+    are unique per (source, node), so equality is exact by construction.
+    """
+    from repro.utils.bitset import set_bit_positions
+
+    num_nodes = csr.number_of_nodes()
+    k = len(source_ids)
+    ids, _bits, frontier = _wordparallel_seed(num_nodes, source_ids)
+    seen = frontier.copy()
+    out_lengths.fill(UNREACHABLE)
+    out_lengths[np.arange(k), ids] = 0
+    depth = 0
+    while True:
+        active = np.flatnonzero(frontier)
+        if active.size == 0:
+            break
+        targets, _signs, origins, _counts = _concatenated_neighbor_ranges(csr, active)
+        if targets.size == 0:
+            break
+        next_words = np.zeros(num_nodes, dtype=np.uint64)
+        np.bitwise_or.at(next_words, targets, frontier[origins])
+        next_words &= ~seen
+        newly = np.flatnonzero(next_words)
+        if newly.size == 0:
+            break
+        seen[newly] |= next_words[newly]
+        newly_words = next_words[newly]
+        for b in set_bit_positions(int(np.bitwise_or.reduce(newly_words))):
+            bit = np.uint64(1) << np.uint64(b)
+            out_lengths[b, newly[(newly_words & bit) != 0]] = depth + 1
+        frontier = next_words
+        depth += 1
+
+
+def _wordparallel_signed_bfs_into(
+    csr: CSRSignedGraph,
+    source_ids: Sequence[int],
+    out_lengths: np.ndarray,
+    out_positive: np.ndarray,
+    out_negative: np.ndarray,
+) -> None:
+    """Word-parallel Algorithm 1: up to 64 signed BFS runs per adjacency gather.
+
+    Discovery is word-parallel exactly as in
+    :func:`_wordparallel_path_lengths_into`; the signed count propagation
+    then runs per *active* source over only that source's discovery edges
+    (``frontier word & next word`` per edge selects them), in the same
+    concatenated-adjacency order the per-source kernel scatters in — so rows
+    are bit-identical to :func:`_signed_bfs_arrays_into`, including the
+    per-level int64 overflow guard (raises :class:`OverflowError`; the
+    caller re-runs the chunk source by source, as with lockstep).  Output
+    buffers are ``(k, n)`` int32/int64/int64; writes are per-row, so any row
+    layout (e.g. a slice of result-arena planes) works.
+    """
+    from repro.utils.bitset import set_bit_positions
+
+    num_nodes = csr.number_of_nodes()
+    k = len(source_ids)
+    degrees = csr.degrees()
+    max_degree = int(degrees.max()) if num_nodes else 0
+    count_guard = (2**63 - 1) // max(1, max_degree)
+    ids, _bits, frontier = _wordparallel_seed(num_nodes, source_ids)
+    seen = frontier.copy()
+    out_lengths.fill(UNREACHABLE)
+    out_positive.fill(0)
+    out_negative.fill(0)
+    rows = np.arange(k)
+    out_lengths[rows, ids] = 0
+    out_positive[rows, ids] = 1
+    depth = 0
+    while True:
+        active = np.flatnonzero(frontier)
+        if active.size == 0:
+            break
+        targets, edge_signs, origins, _counts = _concatenated_neighbor_ranges(
+            csr, active
+        )
+        if targets.size == 0:
+            break
+        words = frontier[origins]
+        next_words = np.zeros(num_nodes, dtype=np.uint64)
+        np.bitwise_or.at(next_words, targets, words)
+        next_words &= ~seen
+        newly = np.flatnonzero(next_words)
+        if newly.size == 0:
+            break
+        seen[newly] |= next_words[newly]
+        # Per-edge discovery words: bit b set iff this edge crosses from
+        # source b's frontier into a node source b discovers this level —
+        # exactly the count-carrying edges of the per-source kernel.
+        discovery = words & next_words[targets]
+        newly_words = next_words[newly]
+        positive_edges = edge_signs > 0
+        for b in set_bit_positions(int(np.bitwise_or.reduce(newly_words))):
+            bit = np.uint64(1) << np.uint64(b)
+            row_new = newly[(newly_words & bit) != 0]
+            out_lengths[b, row_new] = depth + 1
+            edge_sel = np.flatnonzero((discovery & bit) != 0)
+            chunk_targets = targets[edge_sel]
+            chunk_origins = origins[edge_sel]
+            chunk_positive = positive_edges[edge_sel]
+            positive_row = out_positive[b]
+            negative_row = out_negative[b]
+            pos_contrib = np.where(
+                chunk_positive, positive_row[chunk_origins], negative_row[chunk_origins]
+            )
+            neg_contrib = np.where(
+                chunk_positive, negative_row[chunk_origins], positive_row[chunk_origins]
+            )
+            np.add.at(positive_row, chunk_targets, pos_contrib)
+            np.add.at(negative_row, chunk_targets, neg_contrib)
+            if (
+                int(positive_row[row_new].max(initial=0)) > count_guard
+                or int(negative_row[row_new].max(initial=0)) > count_guard
+            ):
+                raise OverflowError(
+                    "signed shortest-path counts exceed the int64 safety bound "
+                    f"({count_guard}) at BFS depth {depth + 1} in a "
+                    "word-parallel traversal; re-run the affected sources "
+                    "individually"
+                )
+        frontier = next_words
+        depth += 1
+
+
 #: One per-source kernel output: ``(lengths, positive, negative)`` arrays, or
 #: ``None`` marking an int64 overflow the caller resolves on the dict backend.
 DenseBFSTriple = Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]
@@ -741,6 +961,7 @@ def signed_bfs_dense_batch(
     chunk_size: int = DEFAULT_BATCH_CHUNK,
     skip_overflow: bool = False,
     lockstep_threshold: Optional[int] = None,
+    wordparallel: Optional[bool] = None,
 ) -> List[DenseBFSTriple]:
     """Dense core of :func:`multi_source_signed_bfs`: dense ids in, arrays out.
 
@@ -748,6 +969,10 @@ def signed_bfs_dense_batch(
     what lets the execution layer run it inside worker processes against a
     shared-memory copy of the snapshot.  ``lockstep_threshold`` overrides
     :data:`LOCKSTEP_NODE_THRESHOLD` (``None`` keeps the module default).
+    ``wordparallel`` forces (``True``) or disables (``False``) the
+    word-parallel path; ``None`` engages it adaptively — above the lockstep
+    threshold, with at least :data:`WORDPARALLEL_MIN_SOURCES` sources, in
+    chunks of 64 (the word width; ``chunk_size`` governs lockstep only).
     Results are in input order and bit-identical to per-source
     :func:`_signed_bfs_arrays` runs.
     """
@@ -767,7 +992,33 @@ def signed_bfs_dense_batch(
                 raise
             results.append(None)
 
-    if csr.number_of_nodes() > threshold:
+    num_nodes = csr.number_of_nodes()
+    use_wordparallel = (
+        wordparallel
+        if wordparallel is not None
+        else num_nodes > threshold and len(id_list) >= WORDPARALLEL_MIN_SOURCES
+    )
+    if use_wordparallel:
+        from repro.utils.bitset import WORD_BITS
+
+        for start in range(0, len(id_list), WORD_BITS):
+            chunk = id_list[start : start + WORD_BITS]
+            k = len(chunk)
+            lengths = np.empty((k, num_nodes), dtype=np.int32)
+            positive = np.empty((k, num_nodes), dtype=np.int64)
+            negative = np.empty((k, num_nodes), dtype=np.int64)
+            try:
+                _wordparallel_signed_bfs_into(csr, chunk, lengths, positive, negative)
+            except OverflowError:
+                for source_id in chunk:
+                    per_source(source_id)
+                continue
+            results.extend(
+                (lengths[row].copy(), positive[row].copy(), negative[row].copy())
+                for row in range(k)
+            )
+        return results
+    if num_nodes > threshold:
         for source_id in id_list:
             per_source(source_id)
         return results
@@ -797,6 +1048,7 @@ def signed_bfs_dense_batch_into(
     chunk_size: int = DEFAULT_BATCH_CHUNK,
     skip_overflow: bool = False,
     lockstep_threshold: Optional[int] = None,
+    wordparallel: Optional[bool] = None,
 ) -> List[Optional[bool]]:
     """:func:`signed_bfs_dense_batch` writing straight into ``(k, n)`` buffers.
 
@@ -830,6 +1082,33 @@ def signed_bfs_dense_batch_into(
                 raise
             tokens.append(None)
 
+    num_nodes = csr.number_of_nodes()
+    use_wordparallel = (
+        wordparallel
+        if wordparallel is not None
+        else num_nodes > threshold and len(id_list) >= WORDPARALLEL_MIN_SOURCES
+    )
+    if use_wordparallel:
+        # Word-parallel writes are per-row, so any buffer layout (including
+        # non-contiguous result-arena slices) is safe here.
+        from repro.utils.bitset import WORD_BITS
+
+        for start in range(0, len(id_list), WORD_BITS):
+            chunk = id_list[start : start + WORD_BITS]
+            stop = start + len(chunk)
+            try:
+                _wordparallel_signed_bfs_into(
+                    csr,
+                    chunk,
+                    out_lengths[start:stop],
+                    out_positive[start:stop],
+                    out_negative[start:stop],
+                )
+                tokens.extend([True] * len(chunk))
+            except OverflowError:
+                for offset, source_id in enumerate(chunk):
+                    per_source(start + offset, source_id)
+        return tokens
     # The lockstep path flattens contiguous row blocks into its k x n state
     # space; on a non-contiguous buffer reshape(-1) would silently copy and
     # the results would never land in the caller's rows — those buffers take
@@ -837,7 +1116,7 @@ def signed_bfs_dense_batch_into(
     lockstep_safe = all(
         out.flags["C_CONTIGUOUS"] for out in (out_lengths, out_positive, out_negative)
     )
-    if csr.number_of_nodes() > threshold or not lockstep_safe:
+    if num_nodes > threshold or not lockstep_safe:
         for row, source_id in enumerate(id_list):
             per_source(row, source_id)
         return tokens
@@ -911,13 +1190,16 @@ def shortest_path_lengths_dense_batch(
     source_ids: Sequence[int],
     chunk_size: int = DEFAULT_BATCH_CHUNK,
     lockstep_threshold: Optional[int] = None,
+    wordparallel: Optional[bool] = None,
 ) -> List[np.ndarray]:
     """Dense core of :func:`multi_source_shortest_path_lengths_csr`.
 
     Dense ids in, one ``int32`` length array per source out; node objects are
     never touched, so the execution layer can run it in worker processes over
     a shared-memory snapshot.  ``lockstep_threshold`` overrides
-    :data:`LOCKSTEP_NODE_THRESHOLD` (``None`` keeps the module default).
+    :data:`LOCKSTEP_NODE_THRESHOLD` (``None`` keeps the module default);
+    ``wordparallel`` forces/disables the word-parallel path (``None`` =
+    adaptive, same crossover as :func:`signed_bfs_dense_batch`).
     """
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
@@ -926,6 +1208,21 @@ def shortest_path_lengths_dense_batch(
     )
     id_list = list(source_ids)
     num_nodes = csr.number_of_nodes()
+    use_wordparallel = (
+        wordparallel
+        if wordparallel is not None
+        else num_nodes > threshold and len(id_list) >= WORDPARALLEL_MIN_SOURCES
+    )
+    if use_wordparallel:
+        from repro.utils.bitset import WORD_BITS
+
+        results = []
+        for start in range(0, len(id_list), WORD_BITS):
+            chunk = id_list[start : start + WORD_BITS]
+            lengths = np.empty((len(chunk), num_nodes), dtype=np.int32)
+            _wordparallel_path_lengths_into(csr, chunk, lengths)
+            results.extend(lengths[row].copy() for row in range(len(chunk)))
+        return results
     if num_nodes > threshold:
         return [_shortest_path_lengths_array(csr, source_id) for source_id in id_list]
     results: List[np.ndarray] = []
@@ -975,6 +1272,7 @@ def shortest_path_lengths_dense_batch_into(
     out_lengths: np.ndarray,
     chunk_size: int = DEFAULT_BATCH_CHUNK,
     lockstep_threshold: Optional[int] = None,
+    wordparallel: Optional[bool] = None,
 ) -> List[Optional[bool]]:
     """:func:`shortest_path_lengths_dense_batch` into a ``(k, n)`` buffer.
 
@@ -990,9 +1288,23 @@ def shortest_path_lengths_dense_batch_into(
         LOCKSTEP_NODE_THRESHOLD if lockstep_threshold is None else lockstep_threshold
     )
     id_list = list(source_ids)
+    num_nodes = csr.number_of_nodes()
+    use_wordparallel = (
+        wordparallel
+        if wordparallel is not None
+        else num_nodes > threshold and len(id_list) >= WORDPARALLEL_MIN_SOURCES
+    )
+    if use_wordparallel:
+        from repro.utils.bitset import WORD_BITS
+
+        for start in range(0, len(id_list), WORD_BITS):
+            chunk = id_list[start : start + WORD_BITS]
+            stop = start + len(chunk)
+            _wordparallel_path_lengths_into(csr, chunk, out_lengths[start:stop])
+        return [True] * len(id_list)
     # Same contiguity guard as signed_bfs_dense_batch_into: the lockstep
     # reshape must not silently copy out of the caller's buffer.
-    if csr.number_of_nodes() > threshold or not out_lengths.flags["C_CONTIGUOUS"]:
+    if num_nodes > threshold or not out_lengths.flags["C_CONTIGUOUS"]:
         for row, source_id in enumerate(id_list):
             _shortest_path_lengths_array_into(csr, source_id, out_lengths[row])
         return [True] * len(id_list)

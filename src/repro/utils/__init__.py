@@ -1,5 +1,13 @@
 """Small shared utilities: RNG handling, validation helpers, text tables, timing."""
 
+from repro.utils.bitset import (
+    WORD_BITS,
+    mask_nbytes,
+    pack_mask,
+    popcount,
+    unpack_mask,
+    words_for,
+)
 from repro.utils.generational import GenerationalLRUCache
 from repro.utils.lru import (
     APPROX_BYTES_PER_NODE,
@@ -20,6 +28,12 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "WORD_BITS",
+    "mask_nbytes",
+    "pack_mask",
+    "popcount",
+    "unpack_mask",
+    "words_for",
     "GenerationalLRUCache",
     "LRUCache",
     "fetch_batched",

@@ -108,3 +108,60 @@ class TestTeamCommand:
 
     def test_empty_skill_list_returns_two(self):
         assert main(["team", "toy", " , "]) == 2
+
+
+class TestSnapshotCommand:
+    def test_save_load_info_roundtrip(self, tmp_path, capsys):
+        pytest.importorskip("numpy")
+        path = str(tmp_path / "toy.store")
+        assert main(["snapshot", "save", "toy", path]) == 0
+        saved = capsys.readouterr().out
+        assert "Saved toy" in saved and path in saved
+
+        assert main(["snapshot", "load", path]) == 0
+        loaded = capsys.readouterr().out
+        assert "memory-mapped" in loaded
+        assert main(["snapshot", "load", path, "--no-mmap"]) == 0
+        assert "read into memory" in capsys.readouterr().out
+
+        assert main(["snapshot", "info", path]) == 0
+        info = capsys.readouterr().out
+        assert "plane:indptr" in info and "version" in info
+
+    def test_snapshot_path_validators_exit_2(self, tmp_path, capsys):
+        for argv, fragment in [
+            (["snapshot", "info", str(tmp_path / "missing.store")], "does not exist"),
+            (["snapshot", "load", str(tmp_path / "missing.store")], "does not exist"),
+            (
+                ["snapshot", "save", "toy", str(tmp_path / "nodir" / "x.store")],
+                "output directory does not exist",
+            ),
+        ]:
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+            assert fragment in capsys.readouterr().err
+
+    def test_snapshot_store_flag_requires_existing_directory(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table2", "--snapshot-store", str(tmp_path / "missing")])
+        assert excinfo.value.code == 2
+        assert "directory does not exist" in capsys.readouterr().err
+        # A valid directory parses and lands on the namespace.
+        parser = build_parser()
+        arguments = parser.parse_args(
+            ["streaming", "toy", "--snapshot-store", str(tmp_path)]
+        )
+        assert arguments.snapshot_store == str(tmp_path)
+
+    def test_snapshot_store_flag_routes_into_config(self, tmp_path):
+        from repro.cli import _experiment_config
+
+        parser = build_parser()
+        arguments = parser.parse_args(
+            ["table2", "--fast", "--snapshot-store", str(tmp_path)]
+        )
+        config = _experiment_config(arguments)
+        for dataset in config.datasets:
+            assert dataset.snapshot_store == str(tmp_path)
+            assert dataset.execution_policy().snapshot_store == str(tmp_path)

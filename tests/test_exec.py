@@ -11,6 +11,7 @@ degradation when shared memory is unavailable).
 from __future__ import annotations
 
 import multiprocessing
+import os
 import random
 
 import pytest
@@ -680,3 +681,181 @@ class TestGracefulDegradation:
             pool_sets = pool_rel.batch_compatible_sets(nodes)
         serial_rel = make_relation("SPA", graph, backend="dict")
         assert pool_sets == serial_rel.batch_compatible_sets(nodes)
+
+
+class TestSnapshotStoreMode:
+    """File-backed snapshot publishing (the ``snapshot_store`` policy knob):
+    workers memmap a published ``.store`` file instead of attaching shared
+    memory, with identical results, identical churn semantics, and the same
+    crash-safe cleanup discipline as the shm segment ledger."""
+
+    @staticmethod
+    def _dense_sources(graph, count=12):
+        csr = graph.csr_view()
+        return csr, [csr.index_of(node) for node in graph.nodes()[:count]]
+
+    def test_policy_validation(self, tmp_path):
+        from repro.exec.policy import validate_snapshot_store
+
+        assert ExecutionPolicy(snapshot_store=str(tmp_path)).snapshot_store == str(
+            tmp_path
+        )
+        with pytest.raises(ValueError, match="directory does not exist"):
+            ExecutionPolicy(snapshot_store=str(tmp_path / "missing"))
+        with pytest.raises(ValueError, match="existing directory"):
+            ExecutionPolicy(snapshot_store="")
+        with pytest.raises(ValueError, match="existing directory"):
+            validate_snapshot_store(123)
+
+    def test_store_dispatch_bit_identical_to_shm_and_serial(self, graph, tmp_path):
+        np = pytest.importorskip("numpy")
+        csr, dense = self._dense_sources(graph, count=20)
+        serial = serial_executor()
+        shm_exec = executor_for(pool_policy("csr", seed=301))
+        store_exec = executor_for(
+            pool_policy("csr", seed=301, snapshot_store=str(tmp_path))
+        )
+        for kernel, params in (
+            ("csr_path_lengths", {}),
+            ("csr_signed_bfs", {"skip_overflow": True}),
+            ("csr_sbph", {"max_length": None}),
+            ("csr_compatible_degrees", {"rule": "SPA", "max_length": None}),
+        ):
+            expected = serial.map_kernel(kernel, csr, dense, params)
+            via_shm = shm_exec.map_kernel(kernel, csr, dense, params)
+            via_store = store_exec.map_kernel(kernel, csr, dense, params)
+            for left, right in zip(via_store, expected):
+                if isinstance(left, tuple):
+                    assert all(np.array_equal(a, b) for a, b in zip(left, right))
+                elif isinstance(left, np.ndarray):
+                    assert np.array_equal(left, right)
+                else:
+                    assert left == right
+            for left, right in zip(via_store, via_shm):
+                if isinstance(left, tuple):
+                    assert all(np.array_equal(a, b) for a, b in zip(left, right))
+                elif isinstance(left, np.ndarray):
+                    assert np.array_equal(left, right)
+                else:
+                    assert left == right
+
+    def test_store_descriptor_and_file_lifecycle(self, graph, tmp_path):
+        pytest.importorskip("numpy")
+        csr, dense = self._dense_sources(graph)
+        executor = executor_for(
+            pool_policy("csr", seed=302, snapshot_store=str(tmp_path))
+        )
+        executor.map_kernel("csr_path_lengths", csr, dense, {})
+        descriptor = executor._handle.published[id(csr)].descriptor
+        assert descriptor.kind == "store"
+        assert descriptor.segments == ()
+        assert descriptor.store_path in pool_module._STORE_FILE_LEDGER
+        files = [f for f in os.listdir(tmp_path) if f.endswith(".store")]
+        assert files == [os.path.basename(descriptor.store_path)]
+        # Re-dispatch against the same snapshot reuses the publication.
+        executor.map_kernel("csr_path_lengths", csr, dense, {})
+        assert len(os.listdir(tmp_path)) == 1
+        pool_module.shutdown_pools()
+        assert os.listdir(tmp_path) == []
+        assert not pool_module._STORE_FILE_LEDGER
+
+    def test_store_results_ship_through_arena(self, graph, tmp_path):
+        pytest.importorskip("numpy")
+        csr, dense = self._dense_sources(graph)
+        executor = executor_for(
+            pool_policy("csr", seed=303, snapshot_store=str(tmp_path))
+        )
+        before = executor._handle.arenas_created
+        left = executor.map_kernel("csr_path_lengths", csr, dense, {})
+        # "store" publications are arena-eligible exactly like "csr" ones.
+        assert executor._handle.arenas_created == before + 1
+        assert len(left) == len(dense)
+
+    def test_churn_republish_under_store(self, tmp_path):
+        pytest.importorskip("numpy")
+        graph, _ = synthetic_signed_network(
+            220, average_degree=4.0, negative_fraction=0.25, seed=33
+        )
+        pool_rel, pool_oracle, pool_engine = build_stack(
+            graph, "SPO", None,
+            policy=pool_policy("csr", snapshot_store=str(tmp_path)),
+        )
+        rng = ensure_rng(17)
+        for _round in range(3):
+            apply_edge_churn(graph, 25, rng)
+            pool_engine.refresh()
+            cold_rel, cold_oracle, cold_engine = build_stack(graph, "SPO", "csr")
+            nodes = graph.nodes()
+            sample, team, candidates = nodes[:20], nodes[4:7], nodes[25:65]
+            assert pool_rel.batch_compatible_sets(sample) == cold_rel.batch_compatible_sets(sample)
+            assert pool_oracle.batch_distance_to_set(candidates, team) == cold_oracle.batch_distance_to_set(candidates, team)
+            # Stale publications are released as they are superseded, so the
+            # store directory never accumulates more than the live snapshots.
+            live = [f for f in os.listdir(tmp_path) if f.endswith(".store")]
+            assert len(live) <= 2
+        pool_module.shutdown_pools()
+        assert os.listdir(tmp_path) == []
+
+    def test_dict_payloads_keep_pickle_shm_path(self, graph, tmp_path):
+        """SignedGraph payloads are not CSR snapshots: under a store policy
+        they still ship as pickled shm blobs, with identical results."""
+        pool_rel = make_relation(
+            "SPA", graph, policy=pool_policy("dict", snapshot_store=str(tmp_path))
+        )
+        serial_rel = make_relation("SPA", graph, backend="dict")
+        sample = graph.nodes()[:10]
+        assert pool_rel.batch_compatible_sets(sample) == serial_rel.batch_compatible_sets(sample)
+        assert [f for f in os.listdir(tmp_path) if f.endswith(".store")] == []
+
+    def test_save_failure_degrades_to_serial(self, graph, tmp_path, monkeypatch):
+        import repro.signed.store as store_module
+
+        pytest.importorskip("numpy")
+
+        def exploding_save(csr, path):
+            raise OSError("store directory went away")
+
+        monkeypatch.setattr(store_module, "save_snapshot", exploding_save)
+        pool_rel = make_relation(
+            "SPO", graph, policy=pool_policy("csr", snapshot_store=str(tmp_path))
+        )
+        pool_module._DEGRADE_WARNED.clear()
+        with pytest.warns(RuntimeWarning, match="degraded to serial"):
+            pool_sets = pool_rel.batch_compatible_sets(graph.nodes()[:10])
+        serial_rel = make_relation("SPO", graph, backend="csr")
+        assert pool_sets == serial_rel.batch_compatible_sets(graph.nodes()[:10])
+
+    def test_worker_crash_leaves_no_stale_store_files(self, graph, tmp_path):
+        """Crash injection: a kernel blowing up inside the workers must leave
+        the published file governed by the ledger — gone after shutdown."""
+        pytest.importorskip("numpy")
+        csr, dense = self._dense_sources(graph)
+        executor = executor_for(
+            pool_policy("csr", seed=304, snapshot_store=str(tmp_path))
+        )
+        with pytest.raises(KeyError):
+            executor.map_kernel(
+                "csr_compatible_masks", csr, dense, {"rule": "NO_SUCH_RULE"}
+            )
+        # The pool survives and the publication is still serviceable.
+        ok = executor.map_kernel("csr_path_lengths", csr, dense, {})
+        assert len(ok) == len(dense)
+        pool_module.shutdown_pools()
+        assert os.listdir(tmp_path) == []
+        assert not pool_module._STORE_FILE_LEDGER
+
+    def test_shutdown_flushes_orphaned_store_and_temp_files(self, tmp_path):
+        import repro.signed.store as store_module
+
+        orphan_store = tmp_path / "orphan.store"
+        orphan_store.write_bytes(b"leftover")
+        orphan_temp = tmp_path / "orphan.store.123.0.tmp"
+        orphan_temp.write_bytes(b"half-written")
+        pool_module._STORE_FILE_LEDGER[str(orphan_store)] = None
+        with store_module._TEMP_LOCK:
+            store_module._TEMP_LEDGER[str(orphan_temp)] = None
+        pool_module.shutdown_pools()
+        assert not orphan_store.exists()
+        assert not orphan_temp.exists()
+        assert not pool_module._STORE_FILE_LEDGER
+        assert not store_module._TEMP_LEDGER
