@@ -17,7 +17,7 @@ from repro.datasets.registry import (
     load_dataset,
     register_dataset,
 )
-from repro.datasets.loaders import load_snap_dataset
+from repro.datasets.loaders import cache_stats, load_snap_dataset, reset_cache_stats
 from repro.datasets.stats import DatasetStatistics, dataset_statistics
 
 __all__ = [
@@ -35,6 +35,8 @@ __all__ = [
     "load_dataset",
     "register_dataset",
     "load_snap_dataset",
+    "cache_stats",
+    "reset_cache_stats",
     "DatasetStatistics",
     "dataset_statistics",
 ]

@@ -17,9 +17,10 @@ is applied (exactly what the paper itself does for Wikipedia).
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.datasets.synthetic import SignedDataset
 from repro.exceptions import DatasetError
@@ -37,6 +38,26 @@ PathLike = Union[str, Path]
 #: passed to :func:`load_snap_dataset`.  Unset (and no argument) means the
 #: parse-once cache is disabled and every load parses the edge list.
 SNAPSHOT_CACHE_ENV = "REPRO_SNAPSHOT_CACHE_DIR"
+
+_logger = logging.getLogger(__name__)
+
+#: Lifetime counters for the parse-once snapshot cache.  ``hits`` counts loads
+#: served from a snapshot file, ``misses`` counts cold parses with no usable
+#: entry (including cache-disabled loads), ``reparses`` counts the subset of
+#: misses where an entry existed but was stale or corrupt and had to be
+#: re-parsed and rewritten.
+_CACHE_STATS: Dict[str, int] = {"hits": 0, "misses": 0, "reparses": 0}
+
+
+def cache_stats() -> Dict[str, int]:
+    """Return a copy of the snapshot-cache hit/miss/reparse counters."""
+    return dict(_CACHE_STATS)
+
+
+def reset_cache_stats() -> None:
+    """Zero the snapshot-cache counters (test isolation helper)."""
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
 
 
 def _snapshot_cache_dir(explicit: Optional[PathLike]) -> Optional[Path]:
@@ -101,6 +122,8 @@ def _parse_edge_list_cached(
 
     cache_dir = _snapshot_cache_dir(snapshot_cache_dir)
     if cache_dir is None or not numpy_available():
+        _CACHE_STATS["misses"] += 1
+        _logger.debug("snapshot cache disabled for %s; parsing", edges_path)
         return parse()
 
     from repro.signed.csr import CSRSignedGraph
@@ -110,11 +133,24 @@ def _parse_edge_list_cached(
     cache_file = _snapshot_cache_file(
         cache_dir, edges_file, restrict_to_lcc, directed_to_undirected
     )
-    if cache_file.exists():
+    entry_existed = cache_file.exists()
+    if entry_existed:
         try:
-            return load_snapshot(cache_file, mmap=True).to_signed_graph()
+            graph = load_snapshot(cache_file, mmap=True).to_signed_graph()
+            _CACHE_STATS["hits"] += 1
+            _logger.debug("snapshot cache hit for %s (%s)", edges_file, cache_file)
+            return graph
         except (ValueError, OSError):
-            pass  # stale/corrupt entry: reparse and overwrite below
+            _CACHE_STATS["reparses"] += 1
+            _logger.debug(
+                "snapshot cache entry unusable for %s (%s); reparsing",
+                edges_file,
+                cache_file,
+            )
+            # stale/corrupt entry: reparse and overwrite below
+    _CACHE_STATS["misses"] += 1
+    if not entry_existed:
+        _logger.debug("snapshot cache miss for %s (%s)", edges_file, cache_file)
     graph = parse()
     cache_dir.mkdir(parents=True, exist_ok=True)
     try:

@@ -83,6 +83,25 @@ def csr_path_lengths(csr, sources: Sequence[int], params: dict) -> List:
     )
 
 
+@register_kernel("build_labels")
+def build_labels(csr, sources: Sequence[int], params: dict) -> List:
+    """Landmark BFS rows for the distance-label index, one per dense source.
+
+    Same computation as ``csr_path_lengths`` — a sign-agnostic distance array
+    per source — registered under its own name so the label build can be
+    dispatched, arena-shipped, and accounted separately from ad-hoc distance
+    sweeps (see :mod:`repro.signed.labels`).
+    """
+    from repro.signed.csr import DEFAULT_BATCH_CHUNK, shortest_path_lengths_dense_batch
+
+    return shortest_path_lengths_dense_batch(
+        csr,
+        sources,
+        chunk_size=params.get("lockstep_chunk") or DEFAULT_BATCH_CHUNK,
+        lockstep_threshold=params.get("lockstep_threshold"),
+    )
+
+
 @register_kernel("csr_sbph")
 def csr_sbph(csr, sources: Sequence[int], params: dict) -> List:
     """SBPH heuristic search per dense source: ``(positive_depths,

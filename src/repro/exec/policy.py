@@ -60,6 +60,8 @@ POLICY_DEFAULT = _PolicyDefault()
 
 _VALID_BACKENDS = ("auto", "dict", "csr")
 
+_VALID_DISTANCE_INDEX = ("auto", "labels", "bfs")
+
 
 @dataclass(frozen=True)
 class ExecutionPolicy:
@@ -120,6 +122,23 @@ class ExecutionPolicy:
         :data:`repro.compatibility.shortest_path.CSR_AUTO_LEVEL_THRESHOLD`
         (``None`` keeps the library default): the probe eccentricity above
         which ``backend="auto"`` stays on the dict backend.
+    distance_index:
+        Whether :class:`~repro.compatibility.distance.DistanceOracle` may
+        serve queries from the precomputed distance-label index
+        (:mod:`repro.signed.labels`) instead of running a BFS.  ``"bfs"``
+        (the default) never consults the index; ``"auto"`` consults it
+        whenever the oracle would use the CSR backend anyway; ``"labels"``
+        always consults it (degrading to the dict-BFS path with a one-time
+        :class:`RuntimeWarning` when numpy is missing).  Batched queries
+        build/refresh the index lazily per graph generation; per-pair
+        queries only consult an index that is already fresh and fall back to
+        exact BFS otherwise.  Answers are exact in every mode — landmark
+        bounds are used only when provably tight.
+    label_budget_bytes:
+        Byte budget for the label planes.  An exact 2-hop build that would
+        exceed it falls back to landmark sketches; the landmark row count is
+        clamped to fit.  The default (64 MiB) holds exact labels for the 50k
+        benchmark graph with headroom.
     compatible_cache_size / bfs_cache_size / result_cache_size /
     distance_cache_size / mask_cache_size:
         The per-source cache budgets previously passed to each layer
@@ -144,6 +163,8 @@ class ExecutionPolicy:
     snapshot_store: Optional[str] = None
     lockstep_node_threshold: Optional[int] = None
     csr_auto_level_threshold: Optional[int] = None
+    distance_index: str = "bfs"
+    label_budget_bytes: int = 64 * 2**20
     compatible_cache_size: CacheSize = "auto"
     bfs_cache_size: CacheSize = "auto"
     result_cache_size: CacheSize = "auto"
@@ -170,6 +191,20 @@ class ExecutionPolicy:
             )
         if self.snapshot_store is not None:
             validate_snapshot_store(self.snapshot_store)
+        if self.distance_index not in _VALID_DISTANCE_INDEX:
+            raise ValueError(
+                f"distance_index must be one of {_VALID_DISTANCE_INDEX}, "
+                f"got {self.distance_index!r}"
+            )
+        if (
+            not isinstance(self.label_budget_bytes, int)
+            or isinstance(self.label_budget_bytes, bool)
+            or self.label_budget_bytes < 1
+        ):
+            raise ValueError(
+                "label_budget_bytes must be a positive byte budget for the "
+                f"distance-label planes; got {self.label_budget_bytes!r}"
+            )
 
     # ------------------------------------------------------------- resolution
 

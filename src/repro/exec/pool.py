@@ -36,7 +36,10 @@ shape explicit:
   so the merged result list is bit-identical to a serial run however the
   chunks were scheduled.  Each chunk additionally seeds the worker's ``random``
   module from ``(policy seed, chunk index)``, so even randomness-using kernels
-  are reproducible and worker-assignment-independent.
+  are reproducible and worker-assignment-independent.  The distance-label
+  build (:mod:`repro.signed.labels`) rides this same machinery: its
+  ``build_labels`` kernel is dispatched over dense source chunks and ships
+  landmark BFS rows through the result arena like any other sweep.
 * **Graceful degradation.**  If pools or shared memory are unavailable on the
   platform (or a payload cannot be shipped), execution falls back to the
   in-process serial path with a one-time :class:`RuntimeWarning` — mirroring

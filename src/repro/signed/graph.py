@@ -20,18 +20,15 @@ from repro.exceptions import (
     InvalidSignError,
     NodeNotFoundError,
 )
-from repro.signed.delta import GraphDelta
+from repro.signed.delta import (
+    DELTA_REBUILD_FRACTION,
+    MIN_DELTA_EVENTS,
+    GraphDelta,
+    within_patch_budget,
+)
 
 Node = Hashable
 Sign = int
-
-#: Fraction of the edge count a delta may reach before :meth:`SignedGraph.csr_view`
-#: abandons in-place patching and rebuilds the CSR snapshot from scratch.
-DELTA_REBUILD_FRACTION = 0.05
-
-#: Floor on the delta-apply budget, so tiny graphs still take the patch path
-#: for small batches instead of always rebuilding.
-MIN_DELTA_EVENTS = 32
 
 #: Entries kept in the per-graph memo of ``affected_nodes_since`` results.
 _AFFECTED_MEMO_BOUND = 8
@@ -388,8 +385,7 @@ class SignedGraph:
             and delta is not None
             and delta
             and not delta.overflowed
-            and len(delta)
-            <= max(MIN_DELTA_EVENTS, int(DELTA_REBUILD_FRACTION * self._num_edges))
+            and within_patch_budget(len(delta), self._num_edges)
         ):
             view = CSRSignedGraph.apply_delta(old_view, self, delta)
         if view is None:

@@ -10,6 +10,15 @@ accordingly:
 * :func:`diverse_top_k_teams` — a greedy diversification pass that additionally
   bounds the pairwise member overlap between returned teams, so the
   alternatives are genuinely different people.
+
+The seed loop warms its seed users through the batched execution engine
+(:meth:`repro.compatibility.engine.CompatibilityEngine.warm`) exactly like
+:func:`repro.teams.generic.form_team`, so the per-source kernels run as one
+lockstep multi-source batch (and through the distance-label index when
+``ExecutionPolicy(distance_index=...)`` enables it) instead of one BFS per
+seed.  Ranking is stable on ``(cost, len(team))`` with costs computed once
+per distinct team, so ``top_k_teams(..., k=1)`` returns exactly the team
+:func:`~repro.teams.generic.form_team` would pick.
 """
 
 from __future__ import annotations
@@ -41,6 +50,10 @@ def _completed_candidates(
     if max_seeds is not None and len(seeds) > max_seeds:
         rng = ensure_rng(seed)
         seeds = rng.sample(seeds, max_seeds)
+    # Same batched prefetch as form_team: one lockstep multi-source sweep for
+    # the seeds' per-source computations, distance maps only when the user
+    # policy actually scores by distance.
+    problem.engine.warm(seeds, distances=user_policy.uses_team_distances)
     candidates: List[FrozenSet[Node]] = []
     for seed_user in seeds:
         candidate = _grow_candidate(problem, seed_user, task_skills, skill_policy, user_policy)
@@ -62,15 +75,18 @@ def top_k_teams(
 
     Every returned team covers the task and is pairwise compatible (they are
     completed candidates of Algorithm 2); ties are broken by team size and
-    then lexicographically for determinism.
+    then by seed order (the sort is stable over the deterministic seed loop),
+    so ``k=1`` reproduces :func:`repro.teams.generic.form_team` exactly.
     """
     require_positive(k, "k")
     candidates = _completed_candidates(problem, skill_policy, user_policy, max_seeds, seed)
-    unique = sorted(
-        set(candidates),
-        key=lambda team: (cost_function(problem.oracle, team), len(team), sorted(map(repr, team))),
-    )
-    return [(team, cost_function(problem.oracle, team)) for team in unique[:k]]
+    # Order-preserving dedupe: keep each team at its first-seed position so
+    # the stable sort below breaks (cost, size) ties exactly like form_team's
+    # min() over the seed loop.
+    unique = list(dict.fromkeys(candidates))
+    scored = [(team, cost_function(problem.oracle, team)) for team in unique]
+    scored.sort(key=lambda entry: (entry[1], len(entry[0])))
+    return scored[:k]
 
 
 def diverse_top_k_teams(

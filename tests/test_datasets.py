@@ -165,6 +165,69 @@ class TestLoaders:
         assert set(dataset.graph.nodes()) == {0, 1, 2}
 
 
+class TestLoaderCacheStats:
+    @pytest.fixture(autouse=True)
+    def _isolated_counters(self):
+        from repro.datasets import reset_cache_stats
+
+        reset_cache_stats()
+        yield
+        reset_cache_stats()
+
+    def test_hit_miss_reparse_counters(self, tmp_path, toy):
+        pytest.importorskip("numpy")
+        from repro.datasets import cache_stats
+
+        edges_path = tmp_path / "net.edges"
+        write_edge_list(toy.graph, edges_path)
+        cache_dir = tmp_path / "cache"
+        kwargs = dict(snapshot_cache_dir=cache_dir, num_synthetic_skills=5, seed=1)
+
+        load_snap_dataset("c", edges_path, **kwargs)
+        assert cache_stats() == {"hits": 0, "misses": 1, "reparses": 0}
+        load_snap_dataset("c", edges_path, **kwargs)
+        assert cache_stats() == {"hits": 1, "misses": 1, "reparses": 0}
+
+        # Corrupting the entry forces a reparse (counted as a miss too) that
+        # rewrites the cache; the next load hits again.
+        entry = next(cache_dir.glob("parse-*.store"))
+        entry.write_bytes(b"garbage")
+        load_snap_dataset("c", edges_path, **kwargs)
+        assert cache_stats() == {"hits": 1, "misses": 2, "reparses": 1}
+        load_snap_dataset("c", edges_path, **kwargs)
+        assert cache_stats() == {"hits": 2, "misses": 2, "reparses": 1}
+
+    def test_disabled_cache_counts_misses(self, tmp_path, toy):
+        from repro.datasets import cache_stats
+
+        edges_path = tmp_path / "net.edges"
+        write_edge_list(toy.graph, edges_path)
+        load_snap_dataset("c", edges_path, num_synthetic_skills=5)
+        load_snap_dataset("c", edges_path, num_synthetic_skills=5)
+        stats = cache_stats()
+        assert stats["misses"] == 2 and stats["hits"] == 0
+
+    def test_cache_stats_returns_a_copy(self):
+        from repro.datasets import cache_stats
+
+        snapshot = cache_stats()
+        snapshot["hits"] = 999
+        assert cache_stats()["hits"] == 0
+
+    def test_debug_logging_names_the_cache_file(self, tmp_path, toy, caplog):
+        pytest.importorskip("numpy")
+        import logging
+
+        edges_path = tmp_path / "net.edges"
+        write_edge_list(toy.graph, edges_path)
+        with caplog.at_level(logging.DEBUG, logger="repro.datasets.loaders"):
+            load_snap_dataset(
+                "c", edges_path, snapshot_cache_dir=tmp_path / "cache",
+                num_synthetic_skills=5,
+            )
+        assert any("snapshot cache miss" in record.message for record in caplog.records)
+
+
 class TestDatasetStatistics:
     def test_statistics_row_shape(self, toy):
         stats = dataset_statistics(toy)

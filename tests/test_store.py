@@ -350,6 +350,111 @@ class TestStoreDiagnostics:
         assert snapshot_info(path)["num_nodes"] == 20
 
 
+# ------------------------------------------------------------- label section
+
+
+class TestStoreLabels:
+    """The optional trailing label section: round-trip, compat, diagnostics."""
+
+    @staticmethod
+    def _graph(seed=31):
+        graph, _ = synthetic_signed_network(
+            120, average_degree=4.0, negative_fraction=0.25, seed=seed
+        )
+        return graph
+
+    @pytest.mark.parametrize("mode", ["exact", "landmark"])
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_label_round_trip(self, tmp_path, mode, mmap):
+        from repro.signed.labels import build_label_index, labels_equal
+        from repro.signed.store import load_labels
+
+        csr = self._graph().csr_view()
+        index = build_label_index(csr, mode=mode)
+        path = str(tmp_path / "g.store")
+        save_snapshot(csr, path, labels=index)
+        info = snapshot_info(path)
+        assert info["version"] == VERSION
+        assert info["labels"]["mode"] == mode
+        assert info["labels"]["generation"] == csr.generation
+        assert info["file_nbytes"] == info["expected_nbytes"]
+        # The base snapshot loads exactly as if no labels were present.
+        assert_snapshots_identical(csr, load_snapshot(path, mmap=mmap))
+        loaded = load_labels(path, mmap=mmap)
+        assert labels_equal(index, loaded)
+        assert loaded.generation == csr.generation
+
+    def test_label_planes_reported_by_info(self, tmp_path):
+        from repro.signed.labels import build_label_index
+
+        csr = self._graph().csr_view()
+        path = str(tmp_path / "g.store")
+        save_snapshot(csr, path, labels=build_label_index(csr, mode="exact"))
+        planes = snapshot_info(path)["planes"]
+        for name in ("label_indptr", "label_hubs", "label_dists", "hub_order"):
+            assert name in planes
+            assert planes[name]["offset"] % 8 == 0
+
+    def test_label_free_file_has_no_section(self, tmp_path):
+        from repro.signed.store import load_labels
+
+        csr = self._graph().csr_view()
+        path = str(tmp_path / "g.store")
+        save_snapshot(csr, path)
+        assert snapshot_info(path)["labels"] is None
+        assert load_labels(path) is None
+
+    def test_version1_file_still_loads(self, tmp_path):
+        """A v2 file without labels patched to version 1 reads unchanged —
+        exactly the bytes an old library version wrote."""
+        from repro.signed.store import load_labels
+
+        csr = self._graph().csr_view()
+        path = str(tmp_path / "g.store")
+        save_snapshot(csr, path)
+        data = bytearray(open(path, "rb").read())
+        fields = list(_HEADER.unpack_from(data))
+        assert fields[1] == VERSION
+        fields[1] = 1
+        data[: _HEADER.size] = _HEADER.pack(*fields)
+        open(path, "wb").write(bytes(data))
+        assert snapshot_info(path)["version"] == 1
+        assert snapshot_info(path)["labels"] is None
+        assert load_labels(path) is None
+        assert_snapshots_identical(csr, load_snapshot(path))
+
+    def test_save_rejects_mismatched_labels(self, tmp_path):
+        from repro.signed.labels import build_label_index
+
+        graph = self._graph()
+        csr = graph.csr_view()
+        index = build_label_index(csr)
+        path = str(tmp_path / "g.store")
+        # Stale generation: the index no longer describes the snapshot.
+        graph.add_edge(0, 118, POSITIVE)
+        with pytest.raises(ValueError, match="generation"):
+            save_snapshot(graph.csr_view(), path, labels=index)
+        # Wrong graph entirely.
+        other, _ = synthetic_signed_network(
+            60, average_degree=4.0, negative_fraction=0.2, seed=77
+        )
+        with pytest.raises(ValueError, match="nodes"):
+            save_snapshot(other.csr_view(), path, labels=index)
+
+    def test_corrupt_label_section_rejected(self, tmp_path):
+        from repro.signed.store import load_labels
+
+        csr = self._graph().csr_view()
+        path = str(tmp_path / "g.store")
+        save_snapshot(csr, path)
+        with open(path, "ab") as handle:
+            handle.write(b"\x00" * 24)  # trailing garbage, not a label header
+        with pytest.raises(ValueError, match="label"):
+            load_labels(path)
+        with pytest.raises(ValueError, match="label"):
+            snapshot_info(path)
+
+
 # ------------------------------------------------------------- word parallel
 
 
