@@ -36,7 +36,12 @@ from repro.compatibility import (
     make_relation,
     pair_statistics,
 )
-from repro.datasets import available, dataset_statistics, load_dataset
+from repro.datasets import (
+    ON_DEMAND_DATASETS,
+    available,
+    dataset_statistics,
+    load_dataset,
+)
 from repro.experiments import (
     StreamingConfig,
     build_dataset_context,
@@ -191,6 +196,48 @@ def build_parser() -> argparse.ArgumentParser:
             "files instead of shared memory (default: shared memory)",
         )
 
+    def add_scale_flags(subparser: argparse.ArgumentParser) -> None:
+        """Dataset-selection overrides: run an experiment off the paper grid.
+
+        ``--datasets million --scale 1.0 --sources 8`` runs the experiment on
+        the CSR-only 1M-node synthetic benchmark instead of the paper's three
+        stand-ins.
+        """
+        subparser.add_argument(
+            "--datasets",
+            default=None,
+            metavar="NAMES",
+            help="comma-separated dataset names replacing the configured grid "
+            f"(available: {', '.join(sorted(available()))})",
+        )
+        subparser.add_argument(
+            "--scale", type=float, default=None, help="dataset scale override"
+        )
+        subparser.add_argument(
+            "--dataset-seed", type=int, default=None, help="dataset generation seed"
+        )
+        subparser.add_argument(
+            "--relations",
+            default=None,
+            metavar="NAMES",
+            help="comma-separated relation names replacing the configured set "
+            f"(available: {', '.join(RELATION_NAMES)})",
+        )
+        subparser.add_argument(
+            "--sources",
+            type=int,
+            default=None,
+            metavar="N",
+            help="BFS sources sampled for pairwise statistics on large graphs",
+        )
+        subparser.add_argument(
+            "--skill-pairs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="skill pairs sampled for the skill-compatibility statistics",
+        )
+
     reproduce_parser = subparsers.add_parser("reproduce", help="run all tables and figures")
     reproduce_parser.add_argument(
         "--fast", action="store_true", help="use the miniature configuration"
@@ -203,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     table2_parser.add_argument(
         "--fast", action="store_true", help="use the miniature configuration"
     )
+    add_scale_flags(table2_parser)
     add_execution_flags(table2_parser)
 
     figure2_parser = subparsers.add_parser(
@@ -217,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         help="which Figure-2 panels to run (default: all)",
     )
+    add_scale_flags(figure2_parser)
     add_execution_flags(figure2_parser)
 
     streaming_parser = subparsers.add_parser(
@@ -286,8 +335,71 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _experiment_config(arguments: argparse.Namespace):
-    """Build the experiment configuration an experiment command asked for."""
+    """Build the experiment configuration an experiment command asked for.
+
+    Beyond ``--fast`` and the execution flags, the scale flags
+    (``--datasets`` / ``--scale`` / ``--dataset-seed`` / ``--relations`` /
+    ``--sources`` / ``--skill-pairs``) rewrite the dataset grid, so e.g.
+    ``table2 --datasets million --sources 8`` runs Table 2 on the 1M-node
+    CSR-only benchmark instead of the paper's three stand-ins.
+    """
+    from dataclasses import replace as dataclass_replace
+
+    from repro.experiments.config import DatasetConfig
+
     config = fast_config() if arguments.fast else default_config()
+
+    names_argument = getattr(arguments, "datasets", None)
+    if names_argument:
+        names = [name.strip().lower() for name in names_argument.split(",") if name.strip()]
+        if not names:
+            raise SystemExit("error: --datasets needs at least one dataset name")
+        chosen = []
+        for name in names:
+            try:
+                chosen.append(config.dataset(name))
+            except KeyError:
+                # Not on the configured grid (e.g. "million"): start from the
+                # registry defaults (seed=None lets the factory pick its own).
+                chosen.append(DatasetConfig(name=name, seed=None))
+        config = dataclass_replace(
+            config, datasets=tuple(chosen), team_dataset=names[0]
+        )
+
+    overrides = {}
+    if getattr(arguments, "dataset_seed", None) is not None:
+        overrides["seed"] = arguments.dataset_seed
+    if getattr(arguments, "scale", None) is not None:
+        overrides["scale"] = arguments.scale
+    if getattr(arguments, "sources", None) is not None:
+        overrides["num_sampled_sources"] = arguments.sources
+    if getattr(arguments, "skill_pairs", None) is not None:
+        overrides["num_sampled_skill_pairs"] = arguments.skill_pairs
+    if overrides:
+        config = dataclass_replace(
+            config,
+            datasets=tuple(
+                dataclass_replace(dataset, **overrides) for dataset in config.datasets
+            ),
+        )
+
+    relations_argument = getattr(arguments, "relations", None)
+    if relations_argument:
+        relations = tuple(
+            name.strip().upper()
+            for name in relations_argument.split(",")
+            if name.strip()
+        )
+        if not relations:
+            raise SystemExit("error: --relations needs at least one relation name")
+        config = dataclass_replace(
+            config,
+            table2_relations=relations,
+            # The team experiments cannot run the exponential exact SBP.
+            team_relations=tuple(name for name in relations if name != "SBP")
+            or relations,
+        )
+
     snapshot_store = getattr(arguments, "snapshot_store", None)
     if arguments.workers or arguments.chunk_size is not None or snapshot_store:
         config = config.with_execution(
@@ -300,12 +412,21 @@ def _experiment_config(arguments: argparse.Namespace):
 
 def _command_datasets(arguments: argparse.Namespace) -> int:
     rows = []
+    skipped = []
     for name in sorted(available()):
+        if name in ON_DEMAND_DATASETS:
+            skipped.append(name)
+            continue
         dataset = load_dataset(name, seed=arguments.seed, scale=arguments.scale)
         stats = dataset_statistics(dataset)
         rows.append(stats.as_row())
     headers = ["dataset", "#users", "#edges", "#neg edges", "diameter", "#skills"]
     print(format_table(headers, rows, title="Available datasets"))
+    for name in skipped:
+        print(
+            f"(not generated: {name!r} — scale dataset, pass it explicitly, "
+            f'e.g. "table2 --datasets {name} --scale 0.01")'
+        )
     return 0
 
 

@@ -99,6 +99,7 @@ class _BalancedPathRelation(CompatibilityRelation):
             compatible_cache_size=compatible_cache_size,
         )
         super().__init__(graph, policy=policy)
+        graph = self._graph  # the base may have adapted a bare CSR snapshot
         if policy.backend == "csr":
             require_numpy("backend='csr'")
         self._search = BalancedPathSearch(

@@ -92,6 +92,13 @@ class CompatibilityRelation(abc.ABC):
         compatible_cache_size: CacheSize = POLICY_DEFAULT,
         policy: Optional[ExecutionPolicy] = None,
     ) -> None:
+        if not isinstance(graph, SignedGraph):
+            # Bare CSR snapshots (CSR-first ingestion) are adapted to the
+            # canonical lazy facade; the dict backend only materialises if a
+            # dict-only code path is actually exercised.
+            from repro.signed.lazy import as_signed_graph
+
+            graph = as_signed_graph(graph)
         self._graph = graph
         self._policy = resolve_policy(
             policy, compatible_cache_size=compatible_cache_size

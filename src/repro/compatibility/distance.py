@@ -344,7 +344,11 @@ class DistanceOracle:
         return self._build_or_refresh()
 
     def _build_or_refresh(self):
-        from repro.signed.labels import build_label_index, refresh_label_index
+        from repro.signed.labels import (
+            build_label_index,
+            refresh_label_index,
+            register_snapshot_labels,
+        )
 
         executor = executor_for(self._policy)
         params = {"lockstep_threshold": self._policy.lockstep_node_threshold}
@@ -368,6 +372,9 @@ class DistanceOracle:
                 self._index_patches += 1
             elif how == "rebuilt":
                 self._index_builds += 1
+        # Record the index against the snapshot it serves, so snapshot_store
+        # publishes and cache writes persist the label section for free.
+        register_snapshot_labels(self._graph.csr_view(), self._label_index)
         return self._label_index
 
     def build_index(self):
@@ -401,6 +408,9 @@ class DistanceOracle:
                 f"{self._graph.number_of_nodes()}"
             )
         self._label_index = index.stamped(self._graph.generation)
+        from repro.signed.labels import register_snapshot_labels
+
+        register_snapshot_labels(self._graph.csr_view(), self._label_index)
 
     def refresh_index(self) -> None:
         """Delta-refresh the label index to the current generation, if built."""
@@ -485,9 +495,9 @@ class DistanceOracle:
     def _use_csr(self) -> bool:
         if isinstance(self._relation, _ShortestPathRelation):
             return self._relation._use_csr()
-        return (
-            numpy_available()
-            and self._graph.number_of_nodes() >= CSR_AUTO_THRESHOLD
+        return numpy_available() and (
+            self._graph.prefers_csr
+            or self._graph.number_of_nodes() >= CSR_AUTO_THRESHOLD
         )
 
     def _shortest_paths_from(self, source: Node):

@@ -112,6 +112,7 @@ class _ShortestPathRelation(CompatibilityRelation):
             compatible_cache_size=compatible_cache_size,
         )
         super().__init__(graph, policy=policy)
+        graph = self._graph  # the base may have adapted a bare CSR snapshot
         if policy.backend == "csr":
             require_numpy("backend='csr'")
         #: Lazily decided by the diameter probe in auto mode (None = undecided).
@@ -138,6 +139,13 @@ class _ShortestPathRelation(CompatibilityRelation):
         if self._policy.backend == "csr":
             return True
         if self._policy.backend == "dict":
+            return False
+        if self._graph.prefers_csr:
+            # CSR-first graphs never pay the dict diameter probe — probing
+            # would materialise the adjacency dicts the facade exists to avoid.
+            if numpy_available():
+                return True
+            warn_numpy_missing(f"{self.name} backend='auto'")
             return False
         if self._graph.number_of_nodes() < CSR_AUTO_THRESHOLD:
             return False

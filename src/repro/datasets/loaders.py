@@ -67,6 +67,13 @@ def _snapshot_cache_dir(explicit: Optional[PathLike]) -> Optional[Path]:
     return Path(env) if env else None
 
 
+#: Version stamp mixed into the cache key.  Bumped when the parse pipeline
+#: changes the produced node/edge order (v2: CSR-first ingestion with the
+#: row-preserving largest-component restriction), so stale entries from older
+#: code miss instead of silently serving a different node order.
+_PARSE_FORMAT_VERSION = 2
+
+
 def _snapshot_cache_file(
     cache_dir: Path,
     edges_file: Path,
@@ -76,10 +83,10 @@ def _snapshot_cache_file(
     """Cache filename for one (source file, mtime, size, parse options) key.
 
     The key covers every input that affects the *parsed graph*: the resolved
-    source path, its mtime and size (so edits invalidate the entry), and the
-    parse options.  Skill parameters are deliberately excluded — skills are
-    derived from the cached graph on every load, so one cache entry serves
-    all skill configurations.
+    source path, its mtime and size (so edits invalidate the entry), the
+    parse options and the parse-format version.  Skill parameters are
+    deliberately excluded — skills are derived from the cached graph on every
+    load, so one cache entry serves all skill configurations.
     """
     stat = edges_file.stat()
     payload = repr(
@@ -89,10 +96,78 @@ def _snapshot_cache_file(
             stat.st_size,
             restrict_to_lcc,
             directed_to_undirected,
+            _PARSE_FORMAT_VERSION,
         )
     )
     digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
     return cache_dir / f"parse-{digest}.store"
+
+
+def _dict_parse(
+    edges_path: PathLike, restrict_to_lcc: bool, directed_to_undirected: str
+) -> SignedGraph:
+    """Reference dict-backend parse (also the error path: it raises the
+    precise line-numbered :class:`DatasetError` for malformed files)."""
+    graph = read_edge_list(edges_path, directed_to_undirected=directed_to_undirected)
+    if graph.number_of_nodes() == 0:
+        raise DatasetError(f"edge list {edges_path} produced an empty graph")
+    if restrict_to_lcc:
+        graph = largest_connected_component(graph)
+    return graph
+
+
+def _cold_parse(
+    edges_path: PathLike,
+    restrict_to_lcc: bool,
+    directed_to_undirected: str,
+    want_csr: bool,
+):
+    """Cold-parse an edge list, vectorised when numpy is available.
+
+    Returns ``(graph, csr)`` where exactly one of the two is populated unless
+    ``want_csr`` forces a CSR companion for a dict-parsed graph (cache writes
+    and ``csr_only`` loads).  The vectorised parser covers every well-formed
+    SNAP-style file; inputs it cannot prove bit-identical fall back to the
+    dict parser, which also raises the reference errors.
+    """
+    if numpy_available():
+        from repro.signed.ingest import parse_edge_list_csr
+
+        csr = parse_edge_list_csr(
+            edges_path,
+            directed_to_undirected=directed_to_undirected,
+            restrict_to_lcc=restrict_to_lcc,
+        )
+        if csr is not None:
+            if csr.number_of_nodes() == 0:
+                raise DatasetError(f"edge list {edges_path} produced an empty graph")
+            return None, csr
+    graph = _dict_parse(edges_path, restrict_to_lcc, directed_to_undirected)
+    if want_csr and numpy_available():
+        from repro.signed.csr import CSRSignedGraph
+
+        return graph, CSRSignedGraph.from_signed_graph(graph)
+    return graph, None
+
+
+def _deliver(graph, csr, csr_only: bool) -> SignedGraph:
+    """Produce the caller-facing graph from a cold/cached parse result.
+
+    ``csr_only`` wraps the CSR planes in the lazy facade (no dict rebuild);
+    otherwise the dict graph is returned, synthesised from the planes when
+    the parse itself was CSR-first (bit-identical by the ingest contract).
+    """
+    if csr_only:
+        from repro.signed.lazy import as_signed_graph
+
+        if csr is None:  # numpy-free fallback never lands here (require_numpy)
+            from repro.signed.csr import CSRSignedGraph
+
+            csr = CSRSignedGraph.from_signed_graph(graph)
+        return as_signed_graph(csr)
+    if graph is not None:
+        return graph
+    return csr.to_signed_graph()
 
 
 def _parse_edge_list_cached(
@@ -100,34 +175,36 @@ def _parse_edge_list_cached(
     restrict_to_lcc: bool,
     directed_to_undirected: str,
     snapshot_cache_dir: Optional[PathLike],
-) -> SignedGraph:
+    csr_only: bool = False,
+):
     """Parse an edge list, going through the snapshot-store cache when enabled.
 
-    A cache hit memory-maps the stored CSR planes and rebuilds the dict graph
-    in the exact node/edge order the original parse produced, so everything
-    keyed off node order (Zipf skill assignment in particular) is bit-identical
-    to a cold parse.  Corrupt or unreadable cache entries fall back to parsing
-    and are rewritten.
+    Returns ``(graph, labels)``.  Cold parses run the vectorised CSR-first
+    reader (:mod:`repro.signed.ingest`) when numpy is available; a cache hit
+    memory-maps the stored planes.  With ``csr_only`` the result is the lazy
+    :class:`~repro.signed.lazy.CSRBackedSignedGraph` facade — on a hit the
+    dict graph is never rebuilt and the edge list is never re-read.  Without
+    it the dict graph is synthesised in the exact node/edge order a direct
+    parse produces, so everything keyed off node order (Zipf skill assignment
+    in particular) stays bit-identical.  ``labels`` is the persisted
+    :class:`~repro.signed.labels.LabelIndex` when the cache entry carries the
+    ``.store`` v2 label section (hits only, else ``None``).  Corrupt or
+    unreadable cache entries fall back to parsing and are rewritten.
     """
+    if csr_only and not numpy_available():
+        from repro.utils.optional import require_numpy
 
-    def parse() -> SignedGraph:
-        graph = read_edge_list(
-            edges_path, directed_to_undirected=directed_to_undirected
-        )
-        if graph.number_of_nodes() == 0:
-            raise DatasetError(f"edge list {edges_path} produced an empty graph")
-        if restrict_to_lcc:
-            graph = largest_connected_component(graph)
-        return graph
-
+        require_numpy("csr_only ingestion")
     cache_dir = _snapshot_cache_dir(snapshot_cache_dir)
     if cache_dir is None or not numpy_available():
         _CACHE_STATS["misses"] += 1
         _logger.debug("snapshot cache disabled for %s; parsing", edges_path)
-        return parse()
+        graph, csr = _cold_parse(
+            edges_path, restrict_to_lcc, directed_to_undirected, want_csr=csr_only
+        )
+        return _deliver(graph, csr, csr_only), None
 
-    from repro.signed.csr import CSRSignedGraph
-    from repro.signed.store import load_snapshot, save_snapshot
+    from repro.signed.store import load_labels, load_snapshot, save_snapshot
 
     edges_file = Path(edges_path).resolve()
     cache_file = _snapshot_cache_file(
@@ -136,10 +213,14 @@ def _parse_edge_list_cached(
     entry_existed = cache_file.exists()
     if entry_existed:
         try:
-            graph = load_snapshot(cache_file, mmap=True).to_signed_graph()
+            csr = load_snapshot(cache_file, mmap=True)
+            try:
+                labels = load_labels(cache_file, mmap=True)
+            except (ValueError, OSError):
+                labels = None
             _CACHE_STATS["hits"] += 1
             _logger.debug("snapshot cache hit for %s (%s)", edges_file, cache_file)
-            return graph
+            return _deliver(None, csr, csr_only), labels
         except (ValueError, OSError):
             _CACHE_STATS["reparses"] += 1
             _logger.debug(
@@ -151,13 +232,50 @@ def _parse_edge_list_cached(
     _CACHE_STATS["misses"] += 1
     if not entry_existed:
         _logger.debug("snapshot cache miss for %s (%s)", edges_file, cache_file)
-    graph = parse()
+    graph, csr = _cold_parse(
+        edges_path, restrict_to_lcc, directed_to_undirected, want_csr=True
+    )
     cache_dir.mkdir(parents=True, exist_ok=True)
     try:
-        save_snapshot(CSRSignedGraph.from_signed_graph(graph), cache_file)
+        save_snapshot(csr, cache_file)
     except OSError:
         pass  # a read-only or full cache directory must not fail the load
-    return graph
+    return _deliver(graph, csr, csr_only), None
+
+
+def attach_cached_labels(
+    edges_path: PathLike,
+    labels,
+    restrict_to_lcc: bool = True,
+    directed_to_undirected: str = "negative_wins",
+    snapshot_cache_dir: Optional[PathLike] = None,
+) -> bool:
+    """Persist a built :class:`~repro.signed.labels.LabelIndex` into the
+    snapshot-cache entry for ``edges_path``.
+
+    Subsequent :func:`load_snap_dataset` hits (same parse options) then return
+    the index on ``dataset.label_index`` — no process ever rebuilds it.  The
+    parse options must match the original load's.  Returns ``True`` when the
+    entry was rewritten, ``False`` when there is no usable cache entry (cache
+    disabled, entry missing/corrupt, or a read-only cache directory).
+    """
+    cache_dir = _snapshot_cache_dir(snapshot_cache_dir)
+    if cache_dir is None or not numpy_available():
+        return False
+    from repro.signed.store import load_snapshot, save_snapshot
+
+    edges_file = Path(edges_path).resolve()
+    cache_file = _snapshot_cache_file(
+        cache_dir, edges_file, restrict_to_lcc, directed_to_undirected
+    )
+    if not cache_file.exists():
+        return False
+    try:
+        csr = load_snapshot(cache_file, mmap=True)
+        save_snapshot(csr, cache_file, labels=labels)
+    except (ValueError, OSError):
+        return False
+    return True
 
 
 def load_snap_dataset(
@@ -170,6 +288,7 @@ def load_snap_dataset(
     directed_to_undirected: str = "negative_wins",
     seed: RandomState = 0,
     snapshot_cache_dir: Optional[PathLike] = None,
+    csr_only: bool = False,
 ) -> SignedDataset:
     """Load a signed network from a SNAP-style edge list plus optional skills.
 
@@ -201,9 +320,22 @@ def load_snap_dataset(
         file's path, mtime, size and parse options; subsequent loads
         memory-map the snapshot instead of re-parsing.  Requires numpy; on
         numpy-free installs the cache is silently skipped.
+    csr_only:
+        Serve the graph as a lazy CSR-backed facade
+        (:class:`~repro.signed.lazy.CSRBackedSignedGraph`) instead of
+        rebuilding the dict backend: cache hits memory-map the stored planes
+        with zero edge-list re-reads and O(1) per-edge work, and cold parses
+        run the vectorised reader end to end.  The facade *is* a
+        ``SignedGraph`` — every consumer accepts it — and materialises the
+        dict backend lazily if a dict-only code path is exercised.  Requires
+        numpy.
     """
-    graph = _parse_edge_list_cached(
-        edges_path, restrict_to_lcc, directed_to_undirected, snapshot_cache_dir
+    graph, label_index = _parse_edge_list_cached(
+        edges_path,
+        restrict_to_lcc,
+        directed_to_undirected,
+        snapshot_cache_dir,
+        csr_only=csr_only,
     )
 
     if skills_path is not None:
@@ -231,4 +363,5 @@ def load_snap_dataset(
         skills=skills,
         description=f"Loaded from {edges_path}"
         + (f" with skills from {skills_path}" if skills_path else " with synthetic skills"),
+        label_index=label_index,
     )

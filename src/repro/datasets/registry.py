@@ -7,6 +7,7 @@ from typing import Callable, Dict, List, Optional
 from repro.datasets.synthetic import (
     SignedDataset,
     epinions_like,
+    million_scale_dataset,
     slashdot_like,
     toy_dataset,
     wikipedia_like,
@@ -21,10 +22,17 @@ _FACTORIES: Dict[str, Callable[..., SignedDataset]] = {
     "slashdot": lambda seed=13, scale=1.0: slashdot_like(seed=seed, scale=scale),
     "epinions": lambda seed=17, scale=0.08: epinions_like(seed=seed, scale=scale),
     "wikipedia": lambda seed=19, scale=0.15: wikipedia_like(seed=seed, scale=scale),
+    # CSR-only scale benchmark: scale=1.0 is 1M nodes / ~10M edges.
+    "million": lambda seed=43, scale=1.0: million_scale_dataset(seed=seed, scale=scale),
 }
 
 #: The three datasets the paper evaluates on, in Table-1 order.
 PAPER_DATASETS = ("slashdot", "epinions", "wikipedia")
+
+#: Datasets that are deliberately huge at their default scale — bulk
+#: operations (the CLI ``datasets`` listing, "run everything" sweeps) must
+#: not generate these implicitly; they are loaded only when named.
+ON_DEMAND_DATASETS = frozenset({"million"})
 
 
 def available() -> List[str]:

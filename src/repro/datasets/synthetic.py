@@ -47,6 +47,11 @@ class SignedDataset:
         The planted faction of each node (synthetic datasets only).
     description:
         Human-readable provenance, including what the dataset stands in for.
+    label_index:
+        A persisted :class:`~repro.signed.labels.LabelIndex` recovered from
+        the loader's snapshot cache (``.store`` v2 label section), or ``None``.
+        Consumers attach it to their :class:`~repro.compatibility.distance.DistanceOracle`
+        instead of rebuilding the index.
     """
 
     name: str
@@ -54,6 +59,7 @@ class SignedDataset:
     skills: SkillAssignment
     factions: Dict[Node, int] = field(default_factory=dict)
     description: str = ""
+    label_index: Optional[object] = None
 
     def __repr__(self) -> str:
         return (
@@ -114,7 +120,11 @@ def faction_biased_signs(
         )
 
     graph = SignedGraph()
-    for node in factions:
+    try:
+        ordered_nodes = sorted(factions)
+    except TypeError:  # mixed node types: keep the factions insertion order
+        ordered_nodes = list(factions)
+    for node in ordered_nodes:
         graph.add_node(node)
     for u, v in graph_edges:
         if u == v:
@@ -436,3 +446,173 @@ def _split_into_factions(
     for node in shuffled[start:]:
         factions[node] = num_factions - 1
     return factions
+
+
+# ------------------------------------------------------------------ CSR scale
+
+
+def synthetic_csr_network(
+    num_nodes: int,
+    average_degree: float = 20.0,
+    negative_fraction: float = 0.17,
+    num_factions: int = 8,
+    cross_faction_bias: float = 0.9,
+    seed: Optional[int] = 0,
+):
+    """Generate a connected signed network straight into CSR planes.
+
+    This is the million-node counterpart of :func:`synthetic_signed_network`:
+    the whole pipeline is vectorised numpy and never touches the dict
+    :class:`~repro.signed.graph.SignedGraph`, so a 1M-node / 10M-edge graph
+    builds in seconds within a few hundred MB.
+
+    The topology is a random Hamiltonian path (guaranteeing connectivity, so
+    no LCC pass is needed) plus uniform random extra edges up to the target
+    edge count.  Signs follow the same planted-partition semantics as
+    :func:`faction_biased_signs`: ``negative_fraction`` of the edges are
+    negative, with ``cross_faction_bias`` of those drawn from cross-faction
+    edges (topped up from the other pool when one runs short).
+
+    Returns ``(csr, factions)`` where ``csr`` is a
+    :class:`~repro.signed.csr.CSRSignedGraph` whose nodes are ``0..n-1`` (in
+    order, so ``.store`` snapshots use the zero-byte ``range`` node table) and
+    ``factions`` is an ``int64`` array of per-node faction indices.
+    """
+    from repro.utils.optional import require_numpy
+
+    require_numpy("synthetic_csr_network")
+    import numpy as np
+
+    from repro.signed.csr import CSRSignedGraph
+    from repro.signed.ingest import build_csr_planes
+
+    require_positive(num_nodes, "num_nodes")
+    require_positive(average_degree, "average_degree")
+    require_positive(num_factions, "num_factions")
+    require_probability(negative_fraction, "negative_fraction")
+    require_probability(cross_faction_bias, "cross_faction_bias")
+    rng = np.random.default_rng(seed)
+    n = int(num_nodes)
+
+    # Backbone: a random permutation path keeps every node in one component.
+    perm = rng.permutation(n).astype(np.int64)
+    target_edges = max(n - 1, int(round(n * average_degree / 2.0)))
+    extra = target_edges - (n - 1)
+    eu = np.concatenate((perm[:-1], rng.integers(0, n, size=extra, dtype=np.int64)))
+    ev = np.concatenate((perm[1:], rng.integers(0, n, size=extra, dtype=np.int64)))
+
+    # Drop self-loops, then dedupe unordered pairs keeping first appearance
+    # (so the backbone edges, listed first, always survive).
+    keep = eu != ev
+    eu, ev = eu[keep], ev[keep]
+    lo = np.minimum(eu, ev)
+    hi = np.maximum(eu, ev)
+    _, first_idx = np.unique(lo * n + hi, return_index=True)
+    first_idx.sort()
+    eu, ev = eu[first_idx], ev[first_idx]
+    m = eu.size
+
+    factions = rng.integers(0, num_factions, size=n, dtype=np.int64)
+    cross = factions[eu] != factions[ev]
+    cross_idx = np.flatnonzero(cross)
+    intra_idx = np.flatnonzero(~cross)
+
+    target_negative = int(round(negative_fraction * m))
+    negative_cross = min(cross_idx.size, int(round(cross_faction_bias * target_negative)))
+    negative_intra = min(intra_idx.size, target_negative - negative_cross)
+    shortfall = target_negative - negative_cross - negative_intra
+    if shortfall > 0:
+        extra_cross = min(shortfall, cross_idx.size - negative_cross)
+        negative_cross += extra_cross
+        shortfall -= extra_cross
+        negative_intra += min(shortfall, intra_idx.size - negative_intra)
+
+    signs = np.ones(m, dtype=np.int64)
+    if negative_cross:
+        signs[rng.choice(cross_idx, size=negative_cross, replace=False)] = -1
+    if negative_intra:
+        signs[rng.choice(intra_idx, size=negative_intra, replace=False)] = -1
+
+    indptr, indices, sign_plane = build_csr_planes(n, eu, ev, signs)
+    return CSRSignedGraph(indptr, indices, sign_plane, list(range(n))), factions
+
+
+def _vectorised_zipf_skills(
+    num_users: int,
+    num_skills: int,
+    skills_per_user: float,
+    exponent: float,
+    seed: Optional[int],
+) -> SkillAssignment:
+    """Zipf-popularity skills for dense ``0..n-1`` users, vectorised.
+
+    Matches the spirit (and the ``skill-<rank>`` naming) of
+    :func:`~repro.skills.generators.assign_skills_zipf` without its per-user
+    Python sampling loop: per-user skill counts are ``1 + Poisson(mean - 1)``
+    and each draw picks a skill rank from the Zipf law.  Every user keeps at
+    least one skill.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(None if seed is None else seed + 0x5B1F)
+    ranks = np.arange(1, num_skills + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    probabilities = weights / weights.sum()
+
+    counts = 1 + rng.poisson(max(0.0, skills_per_user - 1.0), size=num_users)
+    draws = rng.choice(num_skills, size=int(counts.sum()), p=probabilities)
+    users = np.repeat(np.arange(num_users, dtype=np.int64), counts)
+    # Collapse duplicate (user, skill) draws.
+    pair_key = np.unique(users * num_skills + draws)
+
+    names = [f"skill-{rank}" for rank in range(1, num_skills + 1)]
+    mapping: Dict[Node, set] = {}
+    for key in pair_key.tolist():
+        mapping.setdefault(key // num_skills, set()).add(names[key % num_skills])
+
+    assignment = SkillAssignment()
+    for user, skills in mapping.items():
+        assignment.add_user(user, skills)
+    return assignment
+
+
+def million_scale_dataset(
+    seed: Optional[int] = 43,
+    scale: float = 1.0,
+    average_degree: float = 20.0,
+    negative_fraction: float = 0.17,
+    num_skills: int = 500,
+    skills_per_user: float = 4.0,
+) -> SignedDataset:
+    """A CSR-only synthetic dataset sized for the million-node experiments.
+
+    ``scale=1.0`` is 1M nodes / ~10M undirected edges; smaller scales shrink
+    proportionally (floor 1 000 nodes) so the same dataset name works in
+    tests.  The graph is served through
+    :func:`~repro.signed.lazy.as_signed_graph`, so consumers that stay on the
+    CSR fast paths never materialise dict adjacency.  Factions are left out of
+    the dataset record: a 1M-entry dict would defeat the point of the CSR-only
+    path (use :func:`synthetic_csr_network` directly if you need them).
+    """
+    from repro.signed.lazy import as_signed_graph
+
+    num_nodes = max(1000, int(round(1_000_000 * scale)))
+    csr, _ = synthetic_csr_network(
+        num_nodes,
+        average_degree=average_degree,
+        negative_fraction=negative_fraction,
+        seed=seed,
+    )
+    skills = _vectorised_zipf_skills(
+        num_nodes, num_skills, skills_per_user, exponent=1.0, seed=seed
+    )
+    return SignedDataset(
+        name="million",
+        graph=as_signed_graph(csr),
+        skills=skills,
+        description=(
+            f"CSR-only synthetic benchmark graph: {num_nodes} nodes at average "
+            f"degree {average_degree:g}, planted-partition signs "
+            f"({negative_fraction:.0%} negative). Built without the dict graph."
+        ),
+    )

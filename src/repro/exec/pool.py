@@ -534,12 +534,16 @@ class _PoolHandle:
             # through publish()'s wrapper → the usual serial degradation.
             # (Dict payloads keep the pickle-blob path: the store format is
             # CSR-specific.)
+            from repro.signed.labels import snapshot_labels_for
             from repro.signed.store import save_snapshot
 
             path = os.path.join(
                 store_dir, f"snapshot-{os.getpid()}-{publish_id}.store"
             )
-            save_snapshot(payload, path)
+            # Carry the snapshot's label index (if an oracle built one) as
+            # the .store v2 label section: workers and later cold starts load
+            # it from the file instead of rebuilding.
+            save_snapshot(payload, path, labels=snapshot_labels_for(payload))
             _STORE_FILE_LEDGER[path] = None
             descriptor = SnapshotDescriptor(
                 publish_id=publish_id,

@@ -51,12 +51,25 @@ _LABEL_EXPORTS = (
     "labels_equal",
 )
 
+# CSR-first ingestion (repro.signed.ingest) and the lazy SignedGraph facade
+# (repro.signed.lazy) both sit on numpy; exported lazily like the CSR backend.
+_INGEST_EXPORTS = ("parse_edge_list_csr", "read_edge_arrays", "csr_from_edge_arrays")
+_LAZY_EXPORTS = ("CSRBackedSignedGraph", "as_signed_graph")
+
 
 def __getattr__(name):
     if name in _CSR_EXPORTS:
         from repro.signed import csr
 
         return getattr(csr, name)
+    if name in _INGEST_EXPORTS:
+        from repro.signed import ingest
+
+        return getattr(ingest, name)
+    if name in _LAZY_EXPORTS:
+        from repro.signed import lazy
+
+        return getattr(lazy, name)
     if name in _STORE_EXPORTS:
         from repro.signed import store
 

@@ -33,12 +33,29 @@ def connected_components(graph: SignedGraph) -> List[Set[Node]]:
 def largest_connected_component(graph: SignedGraph) -> SignedGraph:
     """Return the subgraph induced by the largest connected component.
 
+    Node and adjacency-row order follow the parent graph (a component is
+    closed under adjacency, so every surviving row is copied verbatim).  That
+    makes the result bit-identical to the vectorised CSR-first restriction in
+    :mod:`repro.signed.ingest`, which everything keyed off node order — the
+    loader snapshot cache and the Zipf skill model — relies on.
+
     An empty graph is returned unchanged.
     """
     if graph.number_of_nodes() == 0:
         return graph.copy()
-    components = connected_components(graph)
-    return graph.subgraph(components[0])
+    component = connected_components(graph)[0]
+    sub = SignedGraph()
+    adjacency = sub._adjacency
+    positive_entries = 0
+    for node in graph.nodes():
+        if node not in component:
+            continue
+        row = dict(graph._adjacency[node])
+        adjacency[node] = row
+        positive_entries += sum(1 for sign in row.values() if sign > 0)
+    sub._num_edges = sum(len(row) for row in adjacency.values()) // 2
+    sub._num_positive = positive_entries // 2
+    return sub
 
 
 def is_connected(graph: SignedGraph) -> bool:

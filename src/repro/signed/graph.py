@@ -105,6 +105,12 @@ class SignedGraph:
     2
     """
 
+    #: Backend hint read by the shortest-path ``_use_csr`` selectors.  The
+    #: dict-built graph expresses no preference (auto-probing applies);
+    #: :class:`repro.signed.lazy.CSRBackedSignedGraph` overrides this so a
+    #: CSR-first graph is never dict-probed (which would materialise it).
+    prefers_csr = False
+
     def __init__(self) -> None:
         self._adjacency: Dict[Node, Dict[Node, Sign]] = {}
         self._num_edges = 0

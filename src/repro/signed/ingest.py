@@ -1,0 +1,493 @@
+"""Vectorised CSR-first edge-list ingestion.
+
+:func:`repro.signed.io.parse_edge_list` builds a Python dict graph one line at
+a time — at a million nodes that is gigabytes of dict overhead and minutes of
+interpreter looping before the first CSR kernel can run.  This module parses
+the same files straight into :class:`~repro.signed.csr.CSRSignedGraph` planes:
+the file is read in ~64MB blocks, split and converted with
+``np.frombuffer``/``np.fromstring``, and deduplication, undirected
+symmetrisation and largest-component restriction all happen on numpy arrays.
+
+Bit-identity with the dict parser is a hard contract, relied on by the loader
+cache and the Zipf skill model (both key off node order):
+
+* node order is first-appearance order in the accepted edge stream,
+* each CSR row lists neighbours in edge first-appearance order, with the two
+  directions of one undirected edge adjacent in time (``u→v`` then ``v→u``),
+* duplicate pairs follow the ``keep_first`` / ``negative_wins`` / ``error``
+  policies of :func:`~repro.signed.io.parse_edge_list` exactly.
+
+Anything the fast scanner cannot prove it parses identically to the dict
+parser — non-integer node labels, bare ``+``/``-`` signs, short lines,
+leading-zero or glued tokens — makes :func:`parse_edge_list_csr` return
+``None`` so the caller can fall back to the dict parser (which also produces
+the proper line-numbered errors).  The fallback is about fidelity, not
+robustness: well-formed SNAP files never take it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.signed.csr import CSRSignedGraph
+from repro.signed.graph import Node
+
+PathLike = Union[str, Path]
+
+#: Text block size for the chunked reader (the last partial line of each block
+#: is carried into the next one, so lines never straddle a parse call).  The
+#: scanner's per-chunk masks and index arrays cost ~10x the chunk size, so the
+#: block is kept small to bound peak RSS; throughput is flat from ~1MB up.
+CHUNK_BYTES = 4 * 1024 * 1024
+
+_POLICIES = ("keep_first", "negative_wins", "error")
+
+# Byte-level classification tables (applied after ``,``/tab/CR → space).
+_SPACE_TRANS = bytes.maketrans(b",\t\r", b"   ")
+_SPACE, _NEWLINE, _HASH, _PERCENT = 32, 10, 35, 37
+_PLUS, _MINUS, _ZERO = 43, 45, 48
+
+_ALLOWED = np.zeros(256, dtype=bool)
+_ALLOWED[48:58] = True  # digits
+_ALLOWED[[_SPACE, _NEWLINE, _PLUS, _MINUS]] = True
+
+_DIGIT = np.zeros(256, dtype=bool)
+_DIGIT[48:58] = True
+
+_TOKEN_BREAK = np.zeros(256, dtype=bool)
+_TOKEN_BREAK[[_SPACE, _NEWLINE]] = True
+
+#: int64 holds 18 fully-general decimal digits; longer runs could overflow
+#: silently inside ``np.fromstring``, so they force the dict fallback.
+_MAX_DIGIT_RUN = 18
+
+
+class _VectorParseUnsupported(Exception):
+    """Internal signal: this input needs the reference dict parser."""
+
+
+# --------------------------------------------------------------------- scanner
+
+
+def _scan_chunk(chunk: bytes) -> Tuple[np.ndarray, int]:
+    """Parse one newline-terminated block into numbers.
+
+    Returns ``(values, data_lines)`` where ``values`` is a flat int64 array of
+    every number on the block's data lines and ``data_lines`` counts the
+    non-empty, non-comment lines.  Raises :class:`_VectorParseUnsupported`
+    whenever byte patterns show the block might parse differently under the
+    reference parser.
+    """
+    arr = np.frombuffer(chunk.translate(_SPACE_TRANS), dtype=np.uint8)
+    size = arr.size
+    newline_pos = np.flatnonzero(arr == _NEWLINE)
+    starts = np.concatenate(([0], newline_pos + 1))
+    ends = np.append(newline_pos, size)
+    del newline_pos
+    real = starts < ends  # drops empty lines and a trailing-newline phantom
+    starts, ends = starts[real], ends[real]
+    del real
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64), 0
+
+    content = (arr != _SPACE) & (arr != _NEWLINE)
+    # Per-line non-space counts via reduceat — no per-byte index array.
+    has_content = np.add.reduceat(content, starts) > 0
+    comment = np.zeros(starts.size, dtype=bool)
+    if ((arr == _HASH) | (arr == _PERCENT)).any():
+        # First non-whitespace byte of each line (only materialised when a
+        # comment marker exists at all — the per-byte index array is large).
+        nonws_pos = np.flatnonzero(content)
+        lookup = np.searchsorted(nonws_pos, starts)
+        first_at = nonws_pos[np.minimum(lookup, nonws_pos.size - 1)]
+        first_byte = arr[first_at]
+        comment = (
+            (lookup < nonws_pos.size)
+            & (first_at < ends)
+            & ((first_byte == _HASH) | (first_byte == _PERCENT))
+        )
+        del nonws_pos, lookup, first_at, first_byte
+        if comment.any():
+            # Blank comment lines in place so the numeric scan skips them.
+            arr = arr.copy()
+            delta = np.zeros(size + 1, dtype=np.int32)
+            np.add.at(delta, starts[comment], 1)
+            np.subtract.at(delta, ends[comment], 1)
+            covered = np.cumsum(delta[:-1]) > 0
+            del delta
+            arr[covered] = _SPACE
+            del covered
+    data_lines = int(np.count_nonzero(has_content & ~comment))
+    del content, has_content, comment, starts, ends
+    if data_lines == 0:
+        return np.empty(0, dtype=np.int64), 0
+
+    if not _ALLOWED[arr].all():
+        raise _VectorParseUnsupported("non-numeric bytes")
+    # Sign characters are only unambiguous at token starts ("1-2" would split
+    # into two numbers where the dict parser sees one string token).
+    sign_pos = np.flatnonzero((arr == _PLUS) | (arr == _MINUS))
+    if sign_pos.size:
+        prev = arr[sign_pos - 1]
+        bad = (sign_pos > 0) & ~_TOKEN_BREAK[prev]
+        if bad.any():
+            raise _VectorParseUnsupported("sign character inside a token")
+        del prev, bad
+    del sign_pos
+    # Leading zeros: int("01") == 1 for a *node* but "01" is an invalid *sign*
+    # token to the dict parser, so any 0-led multi-digit token falls back.
+    zero_pos = np.flatnonzero(arr == _ZERO)
+    if zero_pos.size:
+        at_start = np.ones(zero_pos.size, dtype=bool)
+        prior = zero_pos > 0
+        prev = arr[zero_pos[prior] - 1]
+        at_start[prior] = _TOKEN_BREAK[prev] | (prev == _PLUS) | (prev == _MINUS)
+        followed = np.zeros(zero_pos.size, dtype=bool)
+        inner = zero_pos < size - 1
+        followed[inner] = _DIGIT[arr[zero_pos[inner] + 1]]
+        if (at_start & followed).any():
+            raise _VectorParseUnsupported("leading zero in a token")
+        del at_start, prior, prev, followed, inner
+    del zero_pos
+    # Digit runs longer than int64 can hold: a windowed AND by doubling —
+    # ``run[i]`` is True when ``width`` consecutive bytes from ``i`` are all
+    # digits — keeps every temporary the size of one boolean mask.
+    run = _DIGIT[arr]
+    width = 1
+    while width <= _MAX_DIGIT_RUN:
+        step = min(width, _MAX_DIGIT_RUN + 1 - width)
+        if run.size <= step:
+            run = run[:0]
+            break
+        run = run[: run.size - step] & run[step:]
+        width += step
+    if run.size and run.any():
+        raise _VectorParseUnsupported("integer token too long")
+    del run
+
+    values = np.fromstring(arr.tobytes(), dtype=np.int64, sep=" ")
+    if values.size != 3 * data_lines:
+        raise _VectorParseUnsupported("line/token count mismatch")
+    return values, data_lines
+
+
+def read_edge_arrays(
+    path: PathLike, chunk_bytes: int = CHUNK_BYTES
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Read ``u v sign`` columns of an edge-list file as int64 arrays.
+
+    Returns ``None`` when the file uses syntax the vectorised scanner cannot
+    prove equivalent to :func:`~repro.signed.io.parse_edge_list` (the caller
+    should re-parse with the dict parser, which also raises the precise,
+    line-numbered errors for genuinely malformed input).  Raises
+    :class:`DatasetError` when the file is missing.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DatasetError(f"edge-list file not found: {file_path}")
+    # Accumulated per column (not as one flat values array) so the final
+    # concatenation never holds more than one column's worth of copies.
+    pieces: Tuple[List[np.ndarray], ...] = ([], [], [])
+    try:
+        with file_path.open("rb") as handle:
+            tail = b""
+            while True:
+                block = handle.read(chunk_bytes)
+                if not block:
+                    if tail:
+                        _split_columns(_scan_chunk(tail)[0], pieces)
+                    break
+                data = tail + block
+                cut = data.rfind(b"\n")
+                if cut < 0:
+                    tail = data
+                    continue
+                _split_columns(_scan_chunk(data[: cut + 1])[0], pieces)
+                tail = data[cut + 1 :]
+    except _VectorParseUnsupported:
+        return None
+    columns = []
+    for column_pieces in pieces:
+        if column_pieces:
+            columns.append(np.concatenate(column_pieces))
+            column_pieces.clear()
+        else:
+            columns.append(np.empty(0, dtype=np.int64))
+    return columns[0], columns[1], columns[2]
+
+
+def _split_columns(values: np.ndarray, pieces: Tuple[List[np.ndarray], ...]) -> None:
+    """Append one chunk's flat ``u v s`` values to the per-column piece lists."""
+    if values.size == 0:
+        return
+    triples = values.reshape(-1, 3)
+    for column, column_pieces in enumerate(pieces):
+        column_pieces.append(np.ascontiguousarray(triples[:, column]))
+
+
+# -------------------------------------------------------------- graph assembly
+
+
+def dedupe_undirected(
+    u: np.ndarray,
+    v: np.ndarray,
+    s: np.ndarray,
+    directed_to_undirected: str = "keep_first",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Drop self-loops and reconcile duplicate/reciprocal pairs.
+
+    Mirrors the dict parser's streaming semantics on dense inputs: edges come
+    back in first-appearance order, oriented as first seen, and conflicting
+    signs follow ``directed_to_undirected``.  Returns ``(nodes, eu, ev, es)``
+    where ``nodes`` lists the distinct endpoint values in first-appearance
+    order and ``eu``/``ev`` are dense indices into it.
+
+    Raises :class:`_VectorParseUnsupported` for conflicts under the ``error``
+    policy — the caller re-parses with the dict parser to get the reference
+    line-numbered :class:`DatasetError`.
+    """
+    keep = u != v
+    if not keep.all():
+        u, v, s = u[keep], v[keep], s[keep]
+    if u.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    if np.abs(s).min() != 1 or np.abs(s).max() != 1:
+        raise _VectorParseUnsupported("sign outside {+1, -1}")
+    s = s.astype(np.int8, copy=False)
+    # Node labels usually fit int32; shrinking them halves the sort/unique
+    # temporaries below (the dense ids and values are unchanged).
+    int32_info = np.iinfo(np.int32)
+    if (
+        u.dtype == np.int64
+        and int32_info.min <= min(int(u.min()), int(v.min()))
+        and max(int(u.max()), int(v.max())) <= int32_info.max
+    ):
+        u = u.astype(np.int32)
+        v = v.astype(np.int32)
+
+    # Node order = first appearance in the stream; within one edge the source
+    # precedes the target, exactly like add_edge(u, v).  Dense ids fit int32
+    # (they index arrays that already live in memory), which halves the
+    # footprint of everything downstream of the label-space arrays.
+    interleaved = np.empty(2 * u.size, dtype=u.dtype)
+    interleaved[0::2] = u
+    interleaved[1::2] = v
+    distinct, first_seen = np.unique(interleaved, return_index=True)
+    del interleaved
+    order = np.argsort(first_seen)
+    nodes = distinct[order]
+    rank = np.empty(order.size, dtype=np.int32)
+    rank[order] = np.arange(order.size, dtype=np.int32)
+    du = rank[np.searchsorted(distinct, u)]
+    dv = rank[np.searchsorted(distinct, v)]
+    del distinct, first_seen, order, rank
+
+    n = nodes.size
+    key = np.minimum(du, dv).astype(np.int64) * n
+    key += np.maximum(du, dv)
+    _, first_idx, inverse = np.unique(key, return_index=True, return_inverse=True)
+    del key
+    if directed_to_undirected == "keep_first":
+        group_sign = s[first_idx].astype(np.int8)
+    else:
+        group_sign = np.ones(first_idx.size, dtype=np.int8)
+        np.minimum.at(group_sign, inverse, s)  # any -1 in the group wins
+        if directed_to_undirected == "error":
+            group_max = np.full(first_idx.size, -1, dtype=np.int8)
+            np.maximum.at(group_max, inverse, s)
+            if (group_sign != group_max).any():
+                raise _VectorParseUnsupported("conflicting signs")
+    edge_order = np.argsort(first_idx)
+    return (
+        nodes,
+        du[first_idx][edge_order],
+        dv[first_idx][edge_order],
+        group_sign[edge_order],
+    )
+
+
+def build_csr_planes(
+    num_nodes: int, eu: np.ndarray, ev: np.ndarray, es: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR planes from dense undirected edges, in dict-identical row order.
+
+    The dict graph records edge ``k`` as two insertions — ``u→v`` then
+    ``v→u`` — so interleaving both directions and stable-sorting by source
+    reproduces every adjacency row in insertion order.
+    """
+    total = 2 * eu.size
+    src = np.empty(total, dtype=np.int32)
+    dst = np.empty(total, dtype=np.int32)
+    both = np.empty(total, dtype=np.int8)
+    src[0::2] = eu
+    src[1::2] = ev
+    dst[0::2] = ev
+    dst[1::2] = eu
+    both[0::2] = es
+    both[1::2] = es
+    perm = np.argsort(src, kind="stable")
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=num_nodes), out=indptr[1:])
+    return indptr, np.ascontiguousarray(dst[perm]), np.ascontiguousarray(both[perm])
+
+
+def component_labels(indptr: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Per-node component labels (the minimum dense id in each component).
+
+    Min-label propagation with pointer jumping — a few passes over the edge
+    arrays instead of a Python BFS per component.
+    """
+    n = indptr.size - 1
+    labels = np.arange(n, dtype=np.int64)
+    if indices.size == 0 or n == 0:
+        return labels
+    degrees = np.diff(indptr)
+    nonzero = degrees > 0
+    row_starts = indptr[:-1][nonzero]
+    while True:
+        neighbour_min = np.minimum.reduceat(labels[indices], row_starts)
+        new = labels.copy()
+        new[nonzero] = np.minimum(labels[nonzero], neighbour_min)
+        new = np.minimum(new, new[new])
+        if np.array_equal(new, labels):
+            return labels
+        labels = new
+
+
+def largest_component_members(
+    labels: np.ndarray, nodes: Sequence[Node]
+) -> np.ndarray:
+    """Dense ids (ascending) of the largest component's members.
+
+    Ties follow :func:`repro.signed.components.connected_components`: among
+    equal-sized components the one whose members have the smallest
+    ``min(repr(node))`` wins.
+    """
+    sizes = np.bincount(labels)
+    roots = np.flatnonzero(sizes == sizes.max())
+    if roots.size > 1:
+        best = min(
+            (int(r) for r in roots),
+            key=lambda r: min(repr(nodes[i]) for i in np.flatnonzero(labels == r)),
+        )
+    else:
+        best = int(roots[0])
+    return np.flatnonzero(labels == best)
+
+
+def restrict_to_largest_component(csr: CSRSignedGraph) -> CSRSignedGraph:
+    """Restrict to the largest connected component, preserving row order.
+
+    Components are closed under adjacency, so each surviving row is copied
+    verbatim (neighbours re-labelled to the compacted dense ids); member order
+    follows the parent graph's node order — the same contract as the dict
+    path's :func:`~repro.signed.components.largest_connected_component`.
+    """
+    labels = component_labels(csr.indptr, csr.indices)
+    keep = largest_component_members(labels, csr._nodes)
+    if keep.size == labels.size:
+        return csr
+    degrees = np.diff(csr.indptr)[keep]
+    new_indptr = np.zeros(keep.size + 1, dtype=np.int64)
+    np.cumsum(degrees, out=new_indptr[1:])
+    offsets = np.repeat(csr.indptr[:-1][keep] - new_indptr[:-1], degrees)
+    entry_sel = offsets + np.arange(int(new_indptr[-1]), dtype=np.int64)
+    old_to_new = np.full(labels.size, -1, dtype=np.int64)
+    old_to_new[keep] = np.arange(keep.size)
+    node_list = csr._nodes
+    return CSRSignedGraph(
+        new_indptr,
+        old_to_new[csr.indices[entry_sel]].astype(np.int32),
+        np.ascontiguousarray(csr.signs[entry_sel]),
+        [node_list[i] for i in keep.tolist()],
+    )
+
+
+def csr_from_edge_arrays(
+    u: np.ndarray,
+    v: np.ndarray,
+    s: np.ndarray,
+    directed_to_undirected: str = "keep_first",
+    node_labels: Optional[Sequence[Node]] = None,
+) -> Optional[CSRSignedGraph]:
+    """Assemble a :class:`CSRSignedGraph` from raw parallel edge columns.
+
+    ``node_labels`` optionally maps the dense values in ``u``/``v`` to node
+    objects (used by the synthetic generator, whose nodes are already
+    ``0..n-1``).  Returns ``None`` when the input needs the dict parser (sign
+    values outside ±1, or conflicts under the ``error`` policy).
+    """
+    return _assemble([u, v, s], directed_to_undirected, node_labels)
+
+
+def _assemble(
+    columns: List[np.ndarray],
+    directed_to_undirected: str,
+    node_labels: Optional[Sequence[Node]] = None,
+) -> Optional[CSRSignedGraph]:
+    """Dedupe + plane assembly, consuming ``columns`` (the list is cleared so
+    the raw label-space arrays are freed before the planes are built — at 10M
+    edges they are hundreds of MB)."""
+    u, v, s = columns
+    columns.clear()
+    # Downcast here (not just inside dedupe) so the int64 originals are freed
+    # before the sort-heavy dedupe runs — a callee can't release arrays its
+    # caller still references.
+    if u.size and s.size:
+        if -128 <= int(s.min()) and int(s.max()) <= 127:
+            s = s.astype(np.int8)
+        int32_info = np.iinfo(np.int32)
+        if (
+            u.dtype == np.int64
+            and int32_info.min <= min(int(u.min()), int(v.min()))
+            and max(int(u.max()), int(v.max())) <= int32_info.max
+        ):
+            u = u.astype(np.int32)
+            v = v.astype(np.int32)
+    try:
+        nodes, eu, ev, es = dedupe_undirected(u, v, s, directed_to_undirected)
+    except _VectorParseUnsupported:
+        return None
+    del u, v, s  # drop the raw label-space columns before building the planes
+    if node_labels is not None:
+        node_list = [node_labels[i] for i in nodes.tolist()]
+    else:
+        node_list = nodes.tolist()
+    indptr, indices, signs = build_csr_planes(nodes.size, eu, ev, es)
+    return CSRSignedGraph(indptr, indices, signs, node_list)
+
+
+def parse_edge_list_csr(
+    path: PathLike,
+    directed_to_undirected: str = "keep_first",
+    restrict_to_lcc: bool = False,
+    chunk_bytes: int = CHUNK_BYTES,
+) -> Optional[CSRSignedGraph]:
+    """Parse an edge-list file straight into a :class:`CSRSignedGraph`.
+
+    Bit-identical to ``parse_edge_list`` + ``from_signed_graph`` (+ the
+    row-preserving largest-component restriction) on every input it accepts;
+    returns ``None`` when the file needs the dict parser.  See the module
+    docstring for the exact fallback conditions.
+    """
+    if directed_to_undirected not in _POLICIES:
+        raise ValueError(
+            "directed_to_undirected must be 'keep_first', 'negative_wins' or "
+            f"'error', got {directed_to_undirected!r}"
+        )
+    arrays = read_edge_arrays(path, chunk_bytes=chunk_bytes)
+    if arrays is None:
+        return None
+    columns = list(arrays)
+    del arrays
+    csr = _assemble(columns, directed_to_undirected)
+    if csr is None:
+        return None
+    if restrict_to_lcc and csr.number_of_nodes() > 0:
+        csr = restrict_to_largest_component(csr)
+    return csr

@@ -1,0 +1,219 @@
+"""A ``SignedGraph`` facade over CSR planes, materialised only on demand.
+
+CSR-first ingestion (:mod:`repro.signed.ingest`, the loader snapshot cache)
+produces a :class:`~repro.signed.csr.CSRSignedGraph` without ever building the
+dict backend.  Every downstream constructor, however, is typed against
+:class:`~repro.signed.graph.SignedGraph`.  :class:`CSRBackedSignedGraph`
+bridges the two: it *is* a ``SignedGraph`` (relations, the engine, the oracle
+and the pool accept it unchanged), but the adjacency dicts — the gigabytes at
+a million nodes — are synthesised lazily, the first time a caller actually
+exercises a dict-only code path.
+
+Everything the CSR kernels and the read-mostly query surface need is answered
+straight from the planes: membership, node order, degrees, edge signs,
+neighbour iteration (in CSR row order — exactly the dict insertion order, see
+``ingest``), edge counts and ``csr_view()``.  Mutations (``add_edge`` /
+``set_sign`` / ``remove_node`` …) transparently materialise the dicts first
+and then run the normal generation/delta machinery, so churn on a CSR-first
+graph patches the CSR view through the same delta buffer as always.
+
+:func:`as_signed_graph` is the canonical adapter: it returns ``SignedGraph``
+inputs unchanged and wraps each ``CSRSignedGraph`` in exactly one shared
+facade (so identity checks like ``relation.graph is problem.graph`` keep
+working when two components independently adapt the same snapshot).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Iterator, List, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.signed.csr import CSRSignedGraph
+from repro.signed.delta import GraphDelta
+from repro.signed.graph import Node, Sign, SignedGraph
+
+__all__ = ["CSRBackedSignedGraph", "as_signed_graph"]
+
+
+class CSRBackedSignedGraph(SignedGraph):
+    """A :class:`SignedGraph` whose dict backend is built lazily from CSR.
+
+    Construction is O(1) in the number of edges: only the counters are
+    derived from the planes.  The wrapped snapshot is served by
+    :meth:`csr_view` verbatim (generation-stamped, so delta maintenance and
+    the generational caches behave exactly as on a parsed graph).
+    """
+
+    #: Backend selectors (``_use_csr``) read this instead of probing the
+    #: graph: a CSR-backed facade should never pay a dict-BFS diameter probe
+    #: (which would materialise the adjacency dicts) just to pick a backend.
+    prefers_csr = True
+
+    def __init__(self, csr: CSRSignedGraph) -> None:
+        super().__init__()
+        self._adj: Union[Dict[Node, Dict[Node, Sign]], None] = None
+        self._csr = csr
+        self._num_edges = csr.number_of_edges()
+        self._num_positive = int(np.count_nonzero(csr.signs > 0)) // 2
+        self._generation = csr.generation
+        self._node_set_generation = csr.generation
+        self._csr_cache = (csr.generation, csr)
+        self._delta = GraphDelta()
+
+    # ------------------------------------------------------- lazy dict backend
+
+    @property
+    def _adjacency(self) -> Dict[Node, Dict[Node, Sign]]:
+        adj = self._adj
+        if adj is None:
+            adj = self._materialise()
+        return adj
+
+    @_adjacency.setter
+    def _adjacency(self, value: Dict[Node, Dict[Node, Sign]]) -> None:
+        self._adj = value
+
+    @property
+    def materialised(self) -> bool:
+        """True once some caller has forced the dict backend into existence."""
+        return self._adj is not None
+
+    def _materialise(self) -> Dict[Node, Dict[Node, Sign]]:
+        """Build the adjacency dicts from the CSR planes (row order = dict
+        insertion order, the same contract as ``CSRSignedGraph.to_signed_graph``)."""
+        csr = self._csr
+        nodes = csr._nodes
+        indptr = csr.indptr.tolist()
+        indices = csr.indices.tolist()
+        signs = csr.signs.tolist()
+        adj: Dict[Node, Dict[Node, Sign]] = {}
+        for dense, node in enumerate(nodes):
+            row: Dict[Node, Sign] = {}
+            for position in range(indptr[dense], indptr[dense + 1]):
+                row[nodes[indices[position]]] = signs[position]
+            adj[node] = row
+        self._adj = adj
+        return adj
+
+    # ------------------------------------------------- CSR-served query surface
+
+    def __contains__(self, node: Node) -> bool:
+        if self._adj is not None:
+            return node in self._adj
+        return node in self._csr
+
+    def has_node(self, node: Node) -> bool:
+        return self.__contains__(node)
+
+    def __len__(self) -> int:
+        if self._adj is not None:
+            return len(self._adj)
+        return self._csr.number_of_nodes()
+
+    def number_of_nodes(self) -> int:
+        return self.__len__()
+
+    def __iter__(self) -> Iterator[Node]:
+        if self._adj is not None:
+            return iter(self._adj)
+        return iter(self._csr._nodes)
+
+    def nodes(self) -> List[Node]:
+        if self._adj is not None:
+            return list(self._adj)
+        return self._csr.nodes()
+
+    def degree(self, node: Node) -> int:
+        if self._adj is not None:
+            return SignedGraph.degree(self, node)
+        csr = self._csr
+        dense = csr.index_of(node)
+        return int(csr.indptr[dense + 1] - csr.indptr[dense])
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        if self._adj is not None:
+            return SignedGraph.has_edge(self, u, v)
+        csr = self._csr
+        if u not in csr or v not in csr:
+            return False
+        du, dv = csr._index[u], csr._index[v]
+        row = csr.indices[csr.indptr[du] : csr.indptr[du + 1]]
+        return bool((row == dv).any())
+
+    def sign(self, u: Node, v: Node) -> Sign:
+        if self._adj is not None:
+            return SignedGraph.sign(self, u, v)
+        csr = self._csr
+        if u not in csr:
+            raise NodeNotFoundError(u)
+        if v not in csr:
+            raise NodeNotFoundError(v)
+        du, dv = csr._index[u], csr._index[v]
+        start, stop = int(csr.indptr[du]), int(csr.indptr[du + 1])
+        row = csr.indices[start:stop]
+        hit = np.flatnonzero(row == dv)
+        if hit.size == 0:
+            raise EdgeNotFoundError(u, v)
+        return int(csr.signs[start + int(hit[0])])
+
+    def neighbors(self, node: Node) -> Iterator[Node]:
+        if self._adj is not None:
+            return SignedGraph.neighbors(self, node)
+        csr = self._csr
+        dense = csr.index_of(node)
+        nodes = csr._nodes
+        row = csr.indices[csr.indptr[dense] : csr.indptr[dense + 1]]
+        return iter([nodes[i] for i in row.tolist()])
+
+    def signed_neighbors(self, node: Node) -> Iterator[Tuple[Node, Sign]]:
+        if self._adj is not None:
+            return SignedGraph.signed_neighbors(self, node)
+        csr = self._csr
+        dense = csr.index_of(node)
+        nodes = csr._nodes
+        start, stop = int(csr.indptr[dense]), int(csr.indptr[dense + 1])
+        row = csr.indices[start:stop].tolist()
+        row_signs = csr.signs[start:stop].tolist()
+        return iter([(nodes[i], s) for i, s in zip(row, row_signs)])
+
+    def __repr__(self) -> str:
+        state = "materialised" if self._adj is not None else "csr-only"
+        return (
+            f"CSRBackedSignedGraph(nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()}, {state})"
+        )
+
+
+#: One shared facade per CSR snapshot.  Keyed by ``id(csr)``: the facade holds
+#: a strong reference to its snapshot, so as long as an entry's facade is
+#: alive the id cannot be recycled; when the facade dies the entry goes with
+#: it (weak values).  The ``_csr is csr`` re-check makes stale hits impossible
+#: even under exotic GC timing.
+_CANONICAL: "weakref.WeakValueDictionary[int, CSRBackedSignedGraph]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def as_signed_graph(graph: Union[SignedGraph, CSRSignedGraph]) -> SignedGraph:
+    """Adapt ``graph`` to the :class:`SignedGraph` interface.
+
+    ``SignedGraph`` instances (including existing facades) pass through
+    unchanged; a bare :class:`CSRSignedGraph` is wrapped in the process-wide
+    canonical :class:`CSRBackedSignedGraph` for that snapshot.
+    """
+    if isinstance(graph, SignedGraph):
+        return graph
+    if isinstance(graph, CSRSignedGraph):
+        key = id(graph)
+        wrapper = _CANONICAL.get(key)
+        if wrapper is not None and wrapper._csr is graph:
+            return wrapper
+        wrapper = CSRBackedSignedGraph(graph)
+        _CANONICAL[key] = wrapper
+        return wrapper
+    raise TypeError(
+        f"expected a SignedGraph or CSRSignedGraph, got {type(graph).__name__}"
+    )

@@ -60,6 +60,13 @@ class TeamFormationProblem:
         skill_index: Optional[SkillCompatibilityIndex] = None,
         engine: Optional[CompatibilityEngine] = None,
     ) -> None:
+        if not isinstance(graph, SignedGraph):
+            # A bare CSRSignedGraph adapts to its canonical lazy facade — the
+            # same object the relation got from as_signed_graph, so the
+            # identity check below still holds for CSR-first construction.
+            from repro.signed.lazy import as_signed_graph
+
+            graph = as_signed_graph(graph)
         if relation.graph is not graph:
             raise ValueError("the relation must be defined over the problem's graph")
         missing = {

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gc
 import time
 from typing import Optional
 
@@ -38,3 +39,75 @@ class Timer:
         if self._elapsed is None:
             return time.perf_counter() - self._start
         return self._elapsed
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident-set size of this process in bytes, or ``None`` if unknown.
+
+    Uses ``resource.getrusage`` (``ru_maxrss`` is kilobytes on Linux); falls
+    back to ``VmHWM`` from ``/proc/self/status``.  The counter is a
+    high-water mark for the whole process lifetime — to attribute memory to a
+    single operation, run it in a fresh process via :func:`measure_peak_rss`.
+    """
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except (ImportError, OSError, ValueError):
+        pass
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def measure_peak_rss(function, *args, **kwargs):
+    """Run ``function(*args, **kwargs)`` in a forked child and audit its memory.
+
+    Returns ``(result, peak_bytes, elapsed_seconds)``.  Because the child
+    starts from the parent's (small) baseline, its ``ru_maxrss`` high-water
+    mark isolates the memory cost of ``function`` itself — the ingestion
+    benchmarks use this to compare the CSR and dict parse paths fairly.
+    ``result`` must be picklable; exceptions in the child are re-raised here
+    as :class:`RuntimeError`.  Requires a fork-capable platform (Linux).
+    """
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    receiver, sender = context.Pipe(duplex=False)
+
+    def _child(pipe) -> None:
+        try:
+            # Exclude inherited objects from the child's GC: a full collection
+            # would touch every object header and copy-on-write the whole
+            # parent heap into this child's RSS, charging the parent's live
+            # set to whatever ``function`` we are auditing.
+            gc.freeze()
+            with Timer() as timer:
+                value = function(*args, **kwargs)
+            pipe.send(("ok", value, peak_rss_bytes(), timer.elapsed))
+        except BaseException as error:  # noqa: BLE001 - reported to the parent
+            pipe.send(("error", repr(error), None, None))
+        finally:
+            pipe.close()
+
+    process = context.Process(target=_child, args=(sender,))
+    process.start()
+    sender.close()
+    try:
+        status, payload, peak, elapsed = receiver.recv()
+    except EOFError:
+        process.join()
+        raise RuntimeError(
+            f"measure_peak_rss child died with exit code {process.exitcode}"
+        ) from None
+    finally:
+        receiver.close()
+    process.join()
+    if status != "ok":
+        raise RuntimeError(f"measure_peak_rss child failed: {payload}")
+    return payload, peak, elapsed

@@ -75,6 +75,18 @@ class TestDatasetsCommand:
         assert "toy" in captured.out
         assert "slashdot" in captured.out
 
+    def test_never_generates_on_demand_datasets(self, capsys, monkeypatch):
+        import repro.datasets.registry as registry
+
+        def explode(**kwargs):
+            raise AssertionError("the listing must not generate 'million'")
+
+        monkeypatch.setitem(registry._FACTORIES, "million", explode)
+        exit_code = main(["datasets", "--scale", "0.02"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "not generated: 'million'" in captured.out
+
 
 class TestCompatibilityCommand:
     def test_reports_relations(self, capsys):

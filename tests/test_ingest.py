@@ -1,0 +1,442 @@
+"""CSR-first ingestion: bit-identity with the dict parser, the lazy facade,
+the ``csr_only`` loader path, label carry-through and the scale helpers.
+
+The load-bearing guarantee is that the vectorised path is *bit-identical* to
+the reference dict pipeline — same node order, same CSR planes, same skills —
+or it declines (returns ``None``) and the caller falls back to the dict
+parser.  Anything in between would silently change experiment results.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compatibility import CompatibilityEngine, DistanceOracle, make_relation
+from repro.datasets import (
+    attach_cached_labels,
+    cache_stats,
+    load_snap_dataset,
+    million_scale_dataset,
+    reset_cache_stats,
+    synthetic_csr_network,
+)
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.signed import (
+    CSRSignedGraph,
+    SignedGraph,
+    as_signed_graph,
+    parse_edge_list_csr,
+)
+from repro.signed.components import largest_connected_component
+from repro.signed.io import read_edge_list
+from repro.signed.ingest import component_labels, read_edge_arrays
+from repro.signed.labels import (
+    build_label_index,
+    labels_equal,
+    register_snapshot_labels,
+    snapshot_labels_for,
+)
+from repro.signed.lazy import CSRBackedSignedGraph
+from repro.signed.store import load_labels
+from repro.utils.timing import measure_peak_rss, peak_rss_bytes
+
+POLICIES = ("keep_first", "negative_wins")
+
+
+def write_edges(path, lines):
+    path.write_text("\n".join(lines) + "\n", encoding="ascii")
+    return path
+
+
+def random_edge_lines(seed, num_nodes=40, num_lines=160):
+    """Messy but vectorisable edge lines: duplicates, reversals, self-loops."""
+    rng = random.Random(seed)
+    lines = []
+    for _ in range(num_lines):
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        sign = rng.choice((1, -1))
+        lines.append(f"{u} {v} {sign}")
+        if rng.random() < 0.25:  # reciprocal edge, possibly conflicting
+            lines.append(f"{v} {u} {rng.choice((1, -1))}")
+    return lines
+
+
+def dict_reference(path, policy="keep_first", lcc=False):
+    """The reference parse: dict pipeline, optionally LCC-restricted."""
+    graph = read_edge_list(path, directed_to_undirected=policy)
+    return largest_connected_component(graph) if lcc else graph
+
+
+def assert_csr_equal(left: CSRSignedGraph, right: CSRSignedGraph):
+    assert left._nodes == right._nodes
+    assert np.array_equal(left.indptr, right.indptr)
+    assert np.array_equal(left.indices, right.indices)
+    assert np.array_equal(left.signs, right.signs)
+
+
+class TestVectorisedParseEquivalence:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("lcc", (False, True))
+    def test_random_edge_lists_bit_identical(self, tmp_path, policy, lcc):
+        for seed in range(6):
+            path = write_edges(tmp_path / f"r{seed}.edges", random_edge_lines(seed))
+            reference = dict_reference(path, policy, lcc)
+            vectorised = parse_edge_list_csr(
+                path, directed_to_undirected=policy, restrict_to_lcc=lcc
+            )
+            assert vectorised is not None
+            assert_csr_equal(vectorised, CSRSignedGraph.from_signed_graph(reference))
+
+    def test_comments_separators_and_blank_lines(self, tmp_path):
+        path = write_edges(
+            tmp_path / "messy.edges",
+            [
+                "# a comment",
+                "",
+                "1\t2\t1",
+                "2,3,-1",
+                "   % another comment",
+                "3 1 +1",
+                "  4 1 -1  ",
+            ],
+        )
+        reference = dict_reference(path)
+        vectorised = parse_edge_list_csr(path)
+        assert vectorised is not None
+        assert_csr_equal(vectorised, CSRSignedGraph.from_signed_graph(reference))
+
+    def test_empty_and_comment_only_files(self, tmp_path):
+        for name, text in (("empty.edges", ""), ("comments.edges", "# nothing\n")):
+            path = tmp_path / name
+            path.write_text(text, encoding="ascii")
+            vectorised = parse_edge_list_csr(path)
+            assert vectorised is not None
+            assert vectorised.number_of_nodes() == 0
+            assert vectorised.number_of_edges() == 0
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "a b 1",  # non-numeric nodes: dict parser keeps them as strings
+            "1 2 01",  # leading zero: not a valid vector sign token
+            "01 2 1",  # leading-zero node: "01" and "1" differ as dict labels
+            "1 2",  # missing sign column
+            "1 2 +",  # bare sign character
+            "1 2 2",  # sign outside ±1
+            "1 2 1 3",  # extra column
+            "1 12345678901234567890 1",  # >18-digit run
+            "1-2 3 1",  # sign glued inside a token
+        ],
+    )
+    def test_unsupported_inputs_fall_back(self, tmp_path, line):
+        path = write_edges(tmp_path / "odd.edges", ["1 2 1", line])
+        assert parse_edge_list_csr(path) is None
+
+    def test_error_policy_conflict_falls_back(self, tmp_path):
+        path = write_edges(tmp_path / "conflict.edges", ["1 2 1", "2 1 -1"])
+        assert parse_edge_list_csr(path, directed_to_undirected="error") is None
+        # ... and without a conflict the error policy vectorises fine.
+        clean = write_edges(tmp_path / "clean.edges", ["1 2 1", "2 3 -1"])
+        vectorised = parse_edge_list_csr(clean, directed_to_undirected="error")
+        reference = dict_reference(clean, policy="error")
+        assert_csr_equal(vectorised, CSRSignedGraph.from_signed_graph(reference))
+
+    def test_invalid_policy_message_matches_dict_parser(self, tmp_path):
+        path = write_edges(tmp_path / "p.edges", ["1 2 1"])
+        with pytest.raises(ValueError) as vector_error:
+            parse_edge_list_csr(path, directed_to_undirected="bogus")
+        with pytest.raises(ValueError) as dict_error:
+            read_edge_list(path, directed_to_undirected="bogus")
+        assert str(vector_error.value) == str(dict_error.value)
+
+    def test_read_edge_arrays_round_trip(self, tmp_path):
+        path = write_edges(tmp_path / "raw.edges", ["0 1 1", "1 2 -1", "2 0 1"])
+        u, v, s = read_edge_arrays(path)
+        assert u.tolist() == [0, 1, 2]
+        assert v.tolist() == [1, 2, 0]
+        assert s.tolist() == [1, -1, 1]
+
+    def test_chunk_boundaries_do_not_change_the_result(self, tmp_path):
+        path = write_edges(tmp_path / "chunks.edges", random_edge_lines(99))
+        whole = parse_edge_list_csr(path)
+        for chunk_bytes in (16, 64, 257):
+            chunked = parse_edge_list_csr(path, chunk_bytes=chunk_bytes)
+            assert chunked is not None
+            assert_csr_equal(whole, chunked)
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(0, 12),
+                st.integers(0, 12),
+                st.sampled_from((1, -1)),
+            ),
+            max_size=40,
+        ),
+        policy=st.sampled_from(POLICIES),
+        lcc=st.booleans(),
+    )
+    def test_hypothesis_bit_identity(self, tmp_path, edges, policy, lcc):
+        path = write_edges(
+            tmp_path / "h.edges", [f"{u} {v} {s}" for u, v, s in edges] or [""]
+        )
+        reference = dict_reference(path, policy, lcc)
+        vectorised = parse_edge_list_csr(
+            path, directed_to_undirected=policy, restrict_to_lcc=lcc
+        )
+        assert vectorised is not None
+        assert_csr_equal(vectorised, CSRSignedGraph.from_signed_graph(reference))
+
+
+def small_csr(seed=5):
+    """A small random CSR snapshot with a dict twin for comparison."""
+    path_free_lines = random_edge_lines(seed, num_nodes=30, num_lines=90)
+    reference = SignedGraph()
+    for line in path_free_lines:
+        u, v, s = line.split()
+        if u != v:
+            if not reference.has_edge(int(u), int(v)):
+                reference.add_edge(int(u), int(v), int(s))
+    return CSRSignedGraph.from_signed_graph(reference), reference
+
+
+class TestLazyFacade:
+    def test_as_signed_graph_is_canonical_and_typed(self):
+        csr, reference = small_csr()
+        wrapper = as_signed_graph(csr)
+        assert isinstance(wrapper, CSRBackedSignedGraph)
+        assert as_signed_graph(csr) is wrapper
+        assert as_signed_graph(reference) is reference
+        with pytest.raises(TypeError):
+            as_signed_graph([1, 2, 3])
+
+    def test_query_surface_matches_dict_graph(self):
+        csr, reference = small_csr()
+        wrapper = as_signed_graph(csr)
+        assert len(wrapper) == len(reference)
+        assert list(wrapper) == list(reference)
+        assert wrapper.number_of_edges() == reference.number_of_edges()
+        for node in reference.nodes():
+            assert node in wrapper
+            assert wrapper.degree(node) == reference.degree(node)
+            assert sorted(wrapper.neighbors(node), key=repr) == sorted(
+                reference.neighbors(node), key=repr
+            )
+            assert dict(wrapper.signed_neighbors(node)) == dict(
+                reference.signed_neighbors(node)
+            )
+        with pytest.raises(NodeNotFoundError):
+            wrapper.sign("missing", 0)
+        some = next(iter(reference))
+        with pytest.raises(EdgeNotFoundError):
+            wrapper.sign(some, some)
+        assert not wrapper.materialised  # reads never built dict adjacency
+
+    @pytest.mark.parametrize("name", ("SPA", "SPM", "SPO", "SBPH", "NNE"))
+    def test_relations_identical_on_bare_csr(self, name):
+        csr, reference = small_csr()
+        kwargs = {"max_expansions": 2_000} if name == "SBPH" else {}
+        bare = make_relation(name, csr, **kwargs)
+        dictionary = make_relation(name, reference, **kwargs)
+        for node in reference.nodes():
+            assert set(bare.compatible_with(node)) == set(
+                dictionary.compatible_with(node)
+            )
+
+    def test_spa_stack_never_materialises(self):
+        csr, reference = small_csr()
+        relation = make_relation("SPA", csr)
+        oracle = DistanceOracle(relation)
+        engine = CompatibilityEngine(relation, oracle=oracle)
+        nodes = list(reference.nodes())
+        engine.compatible_sets(nodes)
+        twin_oracle = DistanceOracle(make_relation("SPA", reference))
+        for u in nodes[:4]:
+            for v in nodes[:4]:
+                assert oracle.distance(u, v) == twin_oracle.distance(u, v)
+        assert relation.graph.materialised is False
+
+    def test_mutation_materialises_and_keeps_csr_in_sync(self):
+        csr, reference = small_csr()
+        wrapper = as_signed_graph(csr)
+        new_node = max(reference.nodes()) + 1
+        anchor = next(iter(reference))
+        wrapper.add_edge(anchor, new_node, -1)
+        reference.add_edge(anchor, new_node, -1)
+        assert wrapper.materialised
+        assert_csr_equal(
+            wrapper.csr_view(), CSRSignedGraph.from_signed_graph(reference)
+        )
+
+
+class TestCsrOnlyLoader:
+    def test_cache_hit_serves_mmap_without_reparse(self, tmp_path):
+        path = write_edges(tmp_path / "d.edges", random_edge_lines(11))
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        kwargs = dict(
+            snapshot_cache_dir=cache, num_synthetic_skills=8, seed=3, csr_only=True
+        )
+        reset_cache_stats()
+        first = load_snap_dataset("c", path, **kwargs)
+        second = load_snap_dataset("c", path, **kwargs)
+        assert cache_stats() == {"hits": 1, "misses": 1, "reparses": 0}
+        for dataset in (first, second):
+            assert isinstance(dataset.graph, CSRBackedSignedGraph)
+            assert not dataset.graph.materialised
+        assert list(first.graph) == list(second.graph)
+
+    def test_csr_only_bit_identical_to_dict_path(self, tmp_path):
+        path = write_edges(tmp_path / "d.edges", random_edge_lines(12))
+        kwargs = dict(num_synthetic_skills=8, seed=3)
+        dictionary = load_snap_dataset("c", path, **kwargs)
+        bare = load_snap_dataset("c", path, csr_only=True, **kwargs)
+        assert list(bare.graph) == list(dictionary.graph)
+        assert_csr_equal(
+            bare.graph.csr_view(),
+            CSRSignedGraph.from_signed_graph(dictionary.graph),
+        )
+        for user in dictionary.skills.users():
+            assert bare.skills.skills_of(user) == dictionary.skills.skills_of(user)
+
+    def test_label_section_round_trip(self, tmp_path):
+        path = write_edges(tmp_path / "d.edges", random_edge_lines(13))
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        kwargs = dict(
+            snapshot_cache_dir=cache, num_synthetic_skills=8, seed=3, csr_only=True
+        )
+        first = load_snap_dataset("c", path, **kwargs)
+        assert first.label_index is None
+        labels = build_label_index(first.graph.csr_view(), mode="exact")
+        assert attach_cached_labels(path, labels, snapshot_cache_dir=cache)
+        reloaded = load_snap_dataset("c", path, **kwargs)
+        assert reloaded.label_index is not None
+        assert labels_equal(reloaded.label_index, labels)
+        oracle = DistanceOracle(make_relation("SPA", reloaded.graph))
+        oracle.attach_index(reloaded.label_index)
+        twin = DistanceOracle(make_relation("SPA", first.graph))
+        probe = list(first.graph)[:4]
+        for u in probe:
+            for v in probe:
+                assert oracle.distance(u, v) == twin.distance(u, v)
+
+    def test_attach_cached_labels_without_entry_is_false(self, tmp_path):
+        path = write_edges(tmp_path / "d.edges", random_edge_lines(14))
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        labels = build_label_index(
+            parse_edge_list_csr(path, restrict_to_lcc=True), mode="exact"
+        )
+        assert attach_cached_labels(path, labels, snapshot_cache_dir=cache) is False
+
+
+class TestSnapshotLabelRegistry:
+    def test_register_and_recover(self):
+        csr, _ = small_csr()
+        labels = build_label_index(csr, mode="exact")
+        register_snapshot_labels(csr, labels)
+        assert snapshot_labels_for(csr) is labels
+        other, _ = small_csr(seed=6)
+        assert snapshot_labels_for(other) is None
+
+    def test_pool_store_publish_carries_labels(self, tmp_path):
+        from repro.exec import ExecutionPolicy, executor_for, reset_executors
+        from repro.exec import pool as pool_module
+
+        csr, _ = small_csr()
+        labels = build_label_index(csr, mode="exact")
+        register_snapshot_labels(csr, labels)
+        reset_executors()
+        try:
+            executor = executor_for(
+                ExecutionPolicy(
+                    backend="csr",
+                    workers=2,
+                    min_parallel_sources=1,
+                    snapshot_store=str(tmp_path),
+                )
+            )
+            sources = np.arange(min(4, csr.number_of_nodes()), dtype=np.int64)
+            executor.map_kernel("csr_path_lengths", csr, sources, {})
+            descriptor = executor._handle.published[id(csr)].descriptor
+            assert descriptor.kind == "store"
+            assert labels_equal(load_labels(descriptor.store_path), labels)
+        finally:
+            pool_module.shutdown_pools()
+            reset_executors()
+
+
+class TestSyntheticCsrScale:
+    def test_structure_and_determinism(self):
+        csr, factions = synthetic_csr_network(600, average_degree=6.0, seed=9)
+        again, _ = synthetic_csr_network(600, average_degree=6.0, seed=9)
+        assert_csr_equal(csr, again)
+        assert csr._nodes == list(range(600))
+        assert factions.shape == (600,)
+        # The permutation-path backbone keeps the graph connected.
+        assert np.unique(component_labels(csr.indptr, csr.indices)).size == 1
+        edges = csr.number_of_edges()
+        assert abs(edges - 600 * 3) <= 0.02 * 600 * 3  # duplicates are rare
+        negative = int(np.count_nonzero(csr.signs < 0)) // 2
+        assert abs(negative / edges - 0.17) < 0.01
+
+    def test_signs_prefer_cross_faction_edges(self):
+        csr, factions = synthetic_csr_network(
+            500, average_degree=8.0, cross_faction_bias=1.0, seed=4
+        )
+        src = np.repeat(
+            np.arange(500, dtype=np.int64), np.diff(csr.indptr).astype(np.int64)
+        )
+        negative = csr.signs < 0
+        cross = factions[src] != factions[csr.indices]
+        negative_rate_cross = np.count_nonzero(negative & cross) / max(
+            1, np.count_nonzero(cross)
+        )
+        negative_rate_intra = np.count_nonzero(negative & ~cross) / max(
+            1, np.count_nonzero(~cross)
+        )
+        assert negative_rate_cross > negative_rate_intra
+
+    def test_million_dataset_small_scale(self):
+        dataset = million_scale_dataset(seed=1, scale=0.001)
+        assert dataset.name == "million"
+        assert isinstance(dataset.graph, CSRBackedSignedGraph)
+        assert not dataset.graph.materialised
+        assert dataset.graph.number_of_nodes() == 1000
+        assert set(dataset.skills.users()) == set(range(1000))
+        assert all(
+            dataset.skills.skills_of(user) for user in list(dataset.skills.users())[:50]
+        )
+
+
+class TestPeakRssHelpers:
+    def test_peak_rss_bytes_positive(self):
+        peak = peak_rss_bytes()
+        assert peak is not None and peak > 0
+
+    def test_measure_peak_rss_runs_in_child(self):
+        result, peak, elapsed = measure_peak_rss(sum, range(100))
+        assert result == 4950
+        assert peak is not None and peak > 0
+        assert elapsed >= 0.0
+
+    def test_measure_peak_rss_propagates_errors(self):
+        with pytest.raises(RuntimeError, match="ZeroDivisionError"):
+            measure_peak_rss(_divide_by_zero)
+
+
+def _divide_by_zero():
+    return 1 / 0
