@@ -271,7 +271,24 @@ def build_parser() -> argparse.ArgumentParser:
     streaming_parser = subparsers.add_parser(
         "streaming", help="edge churn interleaved with team-formation queries"
     )
-    streaming_parser.add_argument("dataset", choices=sorted(available()))
+    streaming_parser.add_argument(
+        "dataset", nargs="?", default=None, choices=sorted(available())
+    )
+    streaming_parser.add_argument(
+        "--datasets",
+        default=None,
+        metavar="NAME",
+        dest="datasets_option",
+        help="dataset name (alternative to the positional argument, matching "
+        f"the other workloads' --datasets flag; available: {', '.join(sorted(available()))})",
+    )
+    streaming_parser.add_argument(
+        "--csr-only",
+        action="store_true",
+        help="require the run to stay dict-free (fails if any code path "
+        "materialises the CSR facade's adjacency dicts; the check is "
+        "automatic when the dataset loads as a CSR facade, e.g. million)",
+    )
     streaming_parser.add_argument("--relation", default="SPO", help=f"one of {list(RELATION_NAMES)}")
     streaming_parser.add_argument(
         "--algorithms",
@@ -504,8 +521,32 @@ def _command_streaming(arguments: argparse.Namespace) -> int:
     if not algorithms:
         print("error: at least one algorithm is required", file=sys.stderr)
         return 2
+    dataset = arguments.dataset or arguments.datasets_option
+    if dataset is None:
+        print(
+            "error: a dataset is required (positional or --datasets)",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        arguments.dataset is not None
+        and arguments.datasets_option is not None
+        and arguments.dataset != arguments.datasets_option
+    ):
+        print(
+            "error: positional dataset and --datasets disagree",
+            file=sys.stderr,
+        )
+        return 2
+    if dataset.lower() not in available():
+        print(
+            f"error: unknown dataset {dataset!r} "
+            f"(available: {', '.join(sorted(available()))})",
+            file=sys.stderr,
+        )
+        return 2
     config = StreamingConfig(
-        dataset=arguments.dataset,
+        dataset=dataset,
         dataset_seed=arguments.dataset_seed,
         scale=arguments.scale,
         relation=arguments.relation.upper(),
@@ -519,6 +560,7 @@ def _command_streaming(arguments: argparse.Namespace) -> int:
         tasks_per_round=arguments.tasks,
         task_size=arguments.task_size,
         seed=arguments.seed,
+        csr_only=True if arguments.csr_only else None,
     )
     report = run_streaming(config, verbose=True)
     print(report.as_text())
@@ -533,7 +575,12 @@ def _command_snapshot(arguments: argparse.Namespace) -> int:
         dataset = load_dataset(
             arguments.dataset, seed=arguments.seed, scale=arguments.scale
         )
-        csr = CSRSignedGraph.from_signed_graph(dataset.graph)
+        graph = dataset.graph
+        if hasattr(graph, "csr_view"):
+            # CSR facades (and plain SignedGraph) snapshot dict-free / cached.
+            csr = graph.csr_view()
+        else:
+            csr = CSRSignedGraph.from_signed_graph(graph)
         labels = None
         if arguments.labels is not None:
             from repro.signed.labels import build_label_index

@@ -80,6 +80,13 @@ class StreamingConfig:
     max_seeds: Optional[int] = 10
     #: Master seed for churn and task generation.
     seed: int = 2020
+    #: Require the whole run to stay dict-free: the dataset graph must be a
+    #: :class:`~repro.signed.lazy.CSRBackedSignedGraph` and the run fails if
+    #: any code path materialises its adjacency dicts.  ``None`` (the
+    #: default) enables the check automatically whenever the dataset loads
+    #: as a CSR facade (e.g. ``million`` or ``csr_only`` loader datasets);
+    #: ``True`` additionally fails if the dataset is dict-backed.
+    csr_only: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -162,6 +169,100 @@ class StreamingReport:
         return table + "\nTotals\n" + "\n".join(summary_lines)
 
 
+class _ListEdgeCandidates:
+    """Candidate edge pairs for the churn sampler, dict-backend reference.
+
+    A plain list of ``(u, v)`` tuples in :meth:`SignedGraph.edges` order,
+    maintained exactly (append on add, swap-pop on remove), so after any
+    number of events it is still precisely the graph's edge set.
+    """
+
+    __slots__ = ("pairs",)
+
+    def __init__(self, graph: SignedGraph) -> None:
+        self.pairs = [(edge.u, edge.v) for edge in graph.edges()]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def get(self, position: int):
+        return self.pairs[position]
+
+    def swap_pop(self, position: int) -> None:
+        pairs = self.pairs
+        pairs[position] = pairs[-1]
+        pairs.pop()
+
+    def append(self, u, v) -> None:
+        self.pairs.append((u, v))
+
+
+class _PlaneEdgeCandidates:
+    """Array-backed candidate edges, built vectorised from the CSR planes.
+
+    One ``row < col`` mask over the planes replaces the O(m) Python edge
+    enumeration.  ``edge_arrays`` order equals the dict ``edges()`` order and
+    the list operations mirror :class:`_ListEdgeCandidates` position for
+    position, so a run sampled through this variant draws the exact same
+    event sequence as the dict-backend reference under the same ``rng``.
+    """
+
+    __slots__ = ("us", "vs", "count", "nodes", "index")
+
+    def __init__(self, csr) -> None:
+        us, vs, _signs = csr.edge_arrays()
+        self.us = us
+        self.vs = vs
+        self.count = len(us)
+        self.nodes = csr._nodes
+        self.index = csr._index
+
+    def __len__(self) -> int:
+        return self.count
+
+    def get(self, position: int):
+        nodes = self.nodes
+        return nodes[self.us[position]], nodes[self.vs[position]]
+
+    def swap_pop(self, position: int) -> None:
+        last = self.count - 1
+        self.us[position] = self.us[last]
+        self.vs[position] = self.vs[last]
+        self.count = last
+
+    def append(self, u, v) -> None:
+        position = self.count
+        if position == len(self.us):
+            import numpy as np
+
+            capacity = max(64, 2 * len(self.us))
+            grown_us = np.empty(capacity, dtype=self.us.dtype)
+            grown_vs = np.empty(capacity, dtype=self.vs.dtype)
+            grown_us[:position] = self.us[:position]
+            grown_vs[:position] = self.vs[:position]
+            self.us, self.vs = grown_us, grown_vs
+        self.us[position] = self.index[u]
+        self.vs[position] = self.index[v]
+        self.count = position + 1
+
+
+def _edge_candidates(graph: SignedGraph):
+    """The candidate edge list for ``graph``, reused across churn calls.
+
+    Cached on the graph keyed by its generation: consecutive churn rounds
+    with no interleaved foreign mutation skip the O(m) rebuild entirely (on
+    both backends — the dict path, too, only re-enumerates after a cache
+    miss).  CSR-preferring graphs (the dict-free facade) build the list
+    vectorised from the planes instead of enumerating Python edge objects.
+    """
+    cached = getattr(graph, "_churn_candidates", None)
+    if cached is not None and cached[0] == graph.generation:
+        return cached[1]
+    if getattr(graph, "prefers_csr", False):
+        return _PlaneEdgeCandidates(graph.csr_view())
+    return _ListEdgeCandidates(graph)
+
+
 def apply_edge_churn(
     graph: SignedGraph,
     count: int,
@@ -179,13 +280,22 @@ def apply_edge_churn(
     sign.  Nodes are never added or removed, so skill assignments (and task
     feasibility) are preserved.  All randomness comes from ``rng``, so a
     round is reproducible from the workload seed.
+
+    The candidate edge list is maintained incrementally and cached on the
+    graph across calls (invalidated by generation), so a streaming run pays
+    the edge enumeration once, not once per round — and on a CSR-preferring
+    graph that one enumeration is a vectorised mask over the planes rather
+    than a Python loop.  The two backends draw from candidate lists that are
+    equal position for position, so the same ``rng`` produces the same event
+    sequence on the dict graph and the dict-free facade (the bit-identity
+    contract ``tests/test_streaming.py`` asserts).
     """
     require_probability(add_fraction, "add_fraction")
     require_probability(remove_fraction, "remove_fraction")
     if add_fraction + remove_fraction > 1.0:
         raise ValueError("add_fraction + remove_fraction must be at most 1")
     nodes = graph.nodes()
-    edges = [(edge.u, edge.v) for edge in graph.edges()]
+    edges = _edge_candidates(graph)
     added = removed = flipped = 0
     for _ in range(count):
         roll = rng.random()
@@ -195,23 +305,23 @@ def apply_edge_churn(
                 if not graph.has_edge(u, v):
                     sign = NEGATIVE if rng.random() < negative_fraction else POSITIVE
                     graph.add_edge(u, v, sign)
-                    edges.append((u, v))
+                    edges.append(u, v)
                     added += 1
                     break
-        elif roll < add_fraction + remove_fraction and edges:
+        elif roll < add_fraction + remove_fraction and len(edges):
             position = rng.randrange(len(edges))
-            u, v = edges[position]
-            edges[position] = edges[-1]
-            edges.pop()
+            u, v = edges.get(position)
+            edges.swap_pop(position)
             if graph.has_edge(u, v):
                 graph.remove_edge(u, v)
                 removed += 1
-        elif edges:
-            u, v = edges[rng.randrange(len(edges))]
+        elif len(edges):
+            u, v = edges.get(rng.randrange(len(edges)))
             if graph.has_edge(u, v):
                 current = graph.sign(u, v)
                 graph.set_sign(u, v, POSITIVE if current == NEGATIVE else NEGATIVE)
                 flipped += 1
+    graph._churn_candidates = (graph.generation, edges)
     return added, removed, flipped
 
 
@@ -232,6 +342,20 @@ def run_streaming(
         config.dataset, seed=config.dataset_seed, scale=config.scale
     )
     graph = dataset.graph
+    from repro.signed.lazy import CSRBackedSignedGraph
+
+    if config.csr_only and not isinstance(graph, CSRBackedSignedGraph):
+        raise ValueError(
+            "csr_only streaming requires a CSR-backed dataset graph "
+            f"(dataset {config.dataset!r} loaded a "
+            f"{type(graph).__name__}); use a csr_only loader or the "
+            "'million' dataset"
+        )
+    csr_only = (
+        isinstance(graph, CSRBackedSignedGraph)
+        if config.csr_only is None
+        else config.csr_only
+    )
     from repro.exec import ExecutionPolicy
 
     policy = ExecutionPolicy(
@@ -310,5 +434,11 @@ def run_streaming(
                 f"[streaming] round {round_index}: +{added}/-{removed}/~{flipped} "
                 f"edges, {len(queries)} queries, generation {graph.generation}",
                 flush=True,
+            )
+        if csr_only and graph.materialised:
+            raise RuntimeError(
+                f"csr_only streaming run materialised the dict adjacency "
+                f"during round {round_index} — a dict-only code path leaked "
+                "into the CSR-native stack"
             )
     return report

@@ -53,7 +53,12 @@ _LABEL_EXPORTS = (
 
 # CSR-first ingestion (repro.signed.ingest) and the lazy SignedGraph facade
 # (repro.signed.lazy) both sit on numpy; exported lazily like the CSR backend.
-_INGEST_EXPORTS = ("parse_edge_list_csr", "read_edge_arrays", "csr_from_edge_arrays")
+_INGEST_EXPORTS = (
+    "parse_edge_list_csr",
+    "read_edge_arrays",
+    "read_edge_tokens",
+    "csr_from_edge_arrays",
+)
 _LAZY_EXPORTS = ("CSRBackedSignedGraph", "as_signed_graph")
 
 

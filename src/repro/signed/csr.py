@@ -366,6 +366,23 @@ class CSRSignedGraph:
         """Array of node degrees, indexed by dense id."""
         return np.diff(self.indptr)
 
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(u, v, sign)`` dense-id arrays, one entry per undirected edge.
+
+        Order is first row-major appearance in the planes: the entry for
+        ``{u, v}`` sits in the row of the smaller dense id (the other
+        direction lives in a later row), in row order.  Because CSR row order
+        is dict insertion order, this is exactly the order
+        :meth:`SignedGraph.edges` enumerates the same graph in — the contract
+        the streaming churn sampler relies on to stay bit-compatible across
+        backends.
+        """
+        row = np.repeat(
+            np.arange(len(self._nodes), dtype=np.int64), np.diff(self.indptr)
+        )
+        keep = row < self.indices
+        return row[keep], self.indices[keep].astype(np.int64), self.signs[keep]
+
     def __repr__(self) -> str:
         return (
             f"CSRSignedGraph(nodes={self.number_of_nodes()}, "

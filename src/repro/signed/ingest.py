@@ -17,16 +17,22 @@ cache and the Zipf skill model (both key off node order):
 * duplicate pairs follow the ``keep_first`` / ``negative_wins`` / ``error``
   policies of :func:`~repro.signed.io.parse_edge_list` exactly.
 
-Anything the fast scanner cannot prove it parses identically to the dict
-parser — non-integer node labels, bare ``+``/``-`` signs, short lines,
-leading-zero or glued tokens — makes :func:`parse_edge_list_csr` return
-``None`` so the caller can fall back to the dict parser (which also produces
-the proper line-numbered errors).  The fallback is about fidelity, not
-robustness: well-formed SNAP files never take it.
+Files whose node labels are not plain integers (string or quoted ids, bare
+``+``/``-`` sign tokens, trailing extra columns) take a second, token-mode
+scan: whitespace-delimited byte tokens are mapped to dense ids with an
+incremental ``np.unique`` vocabulary and fed through the same dedupe/plane
+assembly, so they stay vectorised end to end.  Anything neither scanner can
+prove it parses identically to the dict parser — short lines, invalid sign
+tokens, non-ASCII bytes, labels whose ``int()`` coercion is ambiguous
+(``01`` vs ``1``) — makes :func:`parse_edge_list_csr` return ``None`` so the
+caller can fall back to the dict parser (which also produces the proper
+line-numbered errors).  The fallback is about fidelity, not robustness:
+well-formed edge lists never take it.
 """
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -73,16 +79,14 @@ class _VectorParseUnsupported(Exception):
 # --------------------------------------------------------------------- scanner
 
 
-def _scan_chunk(chunk: bytes) -> Tuple[np.ndarray, int]:
-    """Parse one newline-terminated block into numbers.
+def _data_line_spans(arr: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Spans of the data lines (non-empty, non-comment) of one block.
 
-    Returns ``(values, data_lines)`` where ``values`` is a flat int64 array of
-    every number on the block's data lines and ``data_lines`` counts the
-    non-empty, non-comment lines.  Raises :class:`_VectorParseUnsupported`
-    whenever byte patterns show the block might parse differently under the
-    reference parser.
+    ``arr`` is the space-translated byte view of a newline-terminated block.
+    Returns ``(arr, starts, ends)`` where comment lines have been blanked to
+    spaces (in a copy, when any exist) so downstream scans can ignore them,
+    and ``starts``/``ends`` bound exactly the lines that carry data.
     """
-    arr = np.frombuffer(chunk.translate(_SPACE_TRANS), dtype=np.uint8)
     size = arr.size
     newline_pos = np.flatnonzero(arr == _NEWLINE)
     starts = np.concatenate(([0], newline_pos + 1))
@@ -92,7 +96,7 @@ def _scan_chunk(chunk: bytes) -> Tuple[np.ndarray, int]:
     starts, ends = starts[real], ends[real]
     del real
     if starts.size == 0:
-        return np.empty(0, dtype=np.int64), 0
+        return arr, starts, ends
 
     content = (arr != _SPACE) & (arr != _NEWLINE)
     # Per-line non-space counts via reduceat — no per-byte index array.
@@ -121,8 +125,25 @@ def _scan_chunk(chunk: bytes) -> Tuple[np.ndarray, int]:
             del delta
             arr[covered] = _SPACE
             del covered
-    data_lines = int(np.count_nonzero(has_content & ~comment))
-    del content, has_content, comment, starts, ends
+    keep = has_content & ~comment
+    del content, has_content, comment
+    return arr, starts[keep], ends[keep]
+
+
+def _scan_chunk(chunk: bytes) -> Tuple[np.ndarray, int]:
+    """Parse one newline-terminated block into numbers.
+
+    Returns ``(values, data_lines)`` where ``values`` is a flat int64 array of
+    every number on the block's data lines and ``data_lines`` counts the
+    non-empty, non-comment lines.  Raises :class:`_VectorParseUnsupported`
+    whenever byte patterns show the block might parse differently under the
+    reference parser.
+    """
+    arr = np.frombuffer(chunk.translate(_SPACE_TRANS), dtype=np.uint8)
+    arr, starts, ends = _data_line_spans(arr)
+    size = arr.size
+    data_lines = starts.size
+    del starts, ends
     if data_lines == 0:
         return np.empty(0, dtype=np.int64), 0
 
@@ -175,6 +196,156 @@ def _scan_chunk(chunk: bytes) -> Tuple[np.ndarray, int]:
     return values, data_lines
 
 
+# ---------------------------------------------------------------- token scanner
+
+
+#: Token-mode cap on label length: the fixed-width ``S``-dtype extraction
+#: allocates ``3 * lines * width`` bytes per chunk, so pathological labels
+#: force the dict fallback instead of a quadratic blow-up.
+_MAX_TOKEN_BYTES = 64
+
+#: Bijective decimal spellings — ``int(token)`` round-trips to exactly this
+#: string, so canonicalising them can never merge two distinct byte tokens.
+_CANONICAL_INT = re.compile(rb"0|-?[1-9][0-9]*")
+
+#: The wider set ``int()`` might accept (signs, leading zeros, ``1_0``-style
+#: underscore groups).  Non-canonical members parse to ints under the dict
+#: parser but not bijectively, so they force the fallback.
+_INT_LIKE = re.compile(rb"[+-]?[0-9_]*[0-9][0-9_]*")
+
+
+def _scan_chunk_tokens(chunk: bytes) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Tokenise one newline-terminated block into ``(u, v, sign)`` columns.
+
+    The generalisation of :func:`_scan_chunk` for files whose node labels are
+    not plain integers: every data line is split into whitespace-delimited
+    byte tokens (after the same ``,``/tab/CR translation), the first two
+    become ``S``-dtype label columns and the third the ±1 sign column.  Lines
+    keep the dict parser's semantics exactly — at least three tokens, extra
+    tokens ignored.  Raises :class:`_VectorParseUnsupported` for anything the
+    dict parser would reject (short lines, bad sign tokens) or that byte-level
+    tokens cannot represent faithfully (control bytes, non-ASCII).
+    """
+    arr = np.frombuffer(chunk.translate(_SPACE_TRANS), dtype=np.uint8)
+    empty = np.empty(0, dtype="S1")
+    if arr.size == 0:
+        return empty, empty, np.empty(0, dtype=np.int64)
+    # The dict parser reads text and splits on *any* whitespace; remaining
+    # control bytes (vertical tab, form feed, NUL...) or non-ASCII bytes would
+    # tokenise differently here, so they are not claimed.
+    if (((arr < _SPACE) & (arr != _NEWLINE)) | (arr >= 128)).any():
+        raise _VectorParseUnsupported("control or non-ascii byte")
+    arr, starts, ends = _data_line_spans(arr)
+    num_lines = starts.size
+    if num_lines == 0:
+        return empty, empty, np.empty(0, dtype=np.int64)
+
+    content = (arr != _SPACE) & (arr != _NEWLINE)
+    boundary = np.empty_like(content)
+    boundary[0] = content[0]
+    np.greater(content[1:], content[:-1], out=boundary[1:])
+    token_start = np.flatnonzero(boundary)
+    boundary[-1] = content[-1]
+    np.greater(content[:-1], content[1:], out=boundary[:-1])
+    token_end = np.flatnonzero(boundary) + 1
+    del content, boundary
+    lengths = token_end - token_start
+    if lengths.size and int(lengths.max()) > _MAX_TOKEN_BYTES:
+        raise _VectorParseUnsupported("token too long")
+
+    # Comments are blanked and blank lines carry no tokens, so every token
+    # falls inside a data-line span.
+    line_of = np.searchsorted(starts, token_start, side="right") - 1
+    token_counts = np.bincount(line_of, minlength=num_lines)
+    del line_of
+    if (token_counts < 3).any():
+        raise _VectorParseUnsupported("short line")
+    line_first = np.zeros(num_lines, dtype=np.int64)
+    np.cumsum(token_counts[:-1], out=line_first[1:])
+    del token_counts
+    # Column-major selection: all sources, then targets, then signs — the
+    # dict parser's parts[0] / parts[1] / parts[2] with extras ignored.
+    select = np.concatenate([line_first, line_first + 1, line_first + 2])
+    del line_first
+    sel_start = token_start[select]
+    sel_len = lengths[select]
+    del token_start, token_end, lengths, select
+    width = int(sel_len.max())
+    span = np.arange(width, dtype=np.int64)
+    valid = span[None, :] < sel_len[:, None]
+    matrix = np.zeros((sel_start.size, width), dtype=np.uint8)
+    matrix[valid] = arr[(sel_start[:, None] + span[None, :])[valid]]
+    tokens = matrix.view(f"S{width}").ravel()
+    del matrix, valid, span, sel_start, sel_len
+
+    u_tokens = tokens[:num_lines]
+    v_tokens = tokens[num_lines : 2 * num_lines]
+    sign_tokens = tokens[2 * num_lines :]
+    positive = (sign_tokens == b"1") | (sign_tokens == b"+1") | (sign_tokens == b"+")
+    negative = (sign_tokens == b"-1") | (sign_tokens == b"-")
+    if not (positive | negative).all():
+        raise _VectorParseUnsupported("invalid sign token")
+    signs = np.where(positive, 1, -1).astype(np.int64)
+    return u_tokens.copy(), v_tokens.copy(), signs
+
+
+class _TokenVocabulary:
+    """Incremental byte-token → dense-id assignment across chunks.
+
+    Ids are stable (a token keeps the id of its first appearance in *some*
+    chunk) while lookups run on a sorted array — chunk token columns map to
+    ids with one ``np.unique`` + two ``searchsorted`` calls, no Python dict.
+    The id order is arbitrary; first-appearance *node* order is recovered
+    downstream by :func:`dedupe_undirected` exactly as for integer inputs.
+    """
+
+    def __init__(self) -> None:
+        self._sorted = np.empty(0, dtype="S1")
+        self._sorted_ids = np.empty(0, dtype=np.int64)
+        self.tokens: List[bytes] = []  # indexed by id
+
+    def assign(self, column: np.ndarray) -> np.ndarray:
+        """Map one ``S``-dtype token column to int64 ids, growing the vocab."""
+        width = max(self._sorted.dtype.itemsize, column.dtype.itemsize, 1)
+        kind = f"S{width}"
+        vocab = self._sorted.astype(kind, copy=False)
+        column = column.astype(kind, copy=False)
+        distinct = np.unique(column)
+        if vocab.size:
+            at = np.minimum(np.searchsorted(vocab, distinct), vocab.size - 1)
+            fresh = distinct[vocab[at] != distinct]
+        else:
+            fresh = distinct
+        if fresh.size:
+            fresh_ids = len(self.tokens) + np.arange(fresh.size, dtype=np.int64)
+            self.tokens.extend(fresh.tolist())
+            merged = np.concatenate([vocab, fresh])
+            merged_ids = np.concatenate([self._sorted_ids, fresh_ids])
+            order = np.argsort(merged)
+            self._sorted = merged[order]
+            self._sorted_ids = merged_ids[order]
+            vocab = self._sorted
+        return self._sorted_ids[np.searchsorted(vocab, column)]
+
+    def node_labels(self) -> List[Node]:
+        """Python node objects per id, with the dict parser's int coercion.
+
+        Canonical decimal spellings become ints (``int(token)`` is a bijection
+        on them, so no two ids can collapse onto one label); other int-like
+        spellings (``01``, ``+5``, ``1_0``) *would* coerce under the dict
+        parser but not bijectively — they raise and force the fallback.
+        """
+        labels: List[Node] = []
+        for token in self.tokens:
+            if _CANONICAL_INT.fullmatch(token):
+                labels.append(int(token))
+            elif _INT_LIKE.fullmatch(token):
+                raise _VectorParseUnsupported("non-canonical integer label")
+            else:
+                labels.append(token.decode("ascii"))
+        return labels
+
+
 def read_edge_arrays(
     path: PathLike, chunk_bytes: int = CHUNK_BYTES
 ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
@@ -218,6 +389,62 @@ def read_edge_arrays(
         else:
             columns.append(np.empty(0, dtype=np.int64))
     return columns[0], columns[1], columns[2]
+
+
+def read_edge_tokens(
+    path: PathLike, chunk_bytes: int = CHUNK_BYTES
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, List[Node]]]:
+    """Read an edge-list file with arbitrary (string) node labels.
+
+    The token-mode companion of :func:`read_edge_arrays`: node tokens are
+    assigned dense int64 ids via a bytes-token ``np.unique`` pass, so the
+    returned ``(u, v, sign, labels)`` plugs straight into
+    :func:`csr_from_edge_arrays` with ``node_labels=labels``.  Returns
+    ``None`` when only the dict parser can reproduce the reference result —
+    genuinely malformed lines (short lines, invalid sign tokens, for which it
+    raises the proper line-numbered errors) or labels whose ``int()`` coercion
+    is not bijective (``01`` vs ``1``).
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DatasetError(f"edge-list file not found: {file_path}")
+    vocabulary = _TokenVocabulary()
+    pieces: Tuple[List[np.ndarray], ...] = ([], [], [])
+
+    def _consume(chunk: bytes) -> None:
+        u_tokens, v_tokens, signs = _scan_chunk_tokens(chunk)
+        if signs.size == 0:
+            return
+        pieces[0].append(vocabulary.assign(u_tokens))
+        pieces[1].append(vocabulary.assign(v_tokens))
+        pieces[2].append(signs)
+
+    try:
+        with file_path.open("rb") as handle:
+            tail = b""
+            while True:
+                block = handle.read(chunk_bytes)
+                if not block:
+                    if tail:
+                        _consume(tail)
+                    break
+                data = tail + block
+                cut = data.rfind(b"\n")
+                if cut < 0:
+                    tail = data
+                    continue
+                _consume(data[: cut + 1])
+                tail = data[cut + 1 :]
+        labels = vocabulary.node_labels()
+    except _VectorParseUnsupported:
+        return None
+    empty = np.empty(0, dtype=np.int64)
+    return (
+        np.concatenate(pieces[0]) if pieces[0] else empty,
+        np.concatenate(pieces[1]) if pieces[1] else empty.copy(),
+        np.concatenate(pieces[2]) if pieces[2] else empty.copy(),
+        labels,
+    )
 
 
 def _split_columns(values: np.ndarray, pieces: Tuple[List[np.ndarray], ...]) -> None:
@@ -481,11 +708,22 @@ def parse_edge_list_csr(
             f"'error', got {directed_to_undirected!r}"
         )
     arrays = read_edge_arrays(path, chunk_bytes=chunk_bytes)
-    if arrays is None:
-        return None
-    columns = list(arrays)
-    del arrays
-    csr = _assemble(columns, directed_to_undirected)
+    if arrays is not None:
+        columns = list(arrays)
+        del arrays
+        csr = _assemble(columns, directed_to_undirected)
+    else:
+        # Token mode: the numeric scanner declined (string labels, bare sign
+        # characters, extra columns...), so re-scan assigning byte-token ids.
+        # A second decline means the input is genuinely malformed (or int-
+        # coerced ambiguously) and the dict parser owns the error messages.
+        tokenised = read_edge_tokens(path, chunk_bytes=chunk_bytes)
+        if tokenised is None:
+            return None
+        u, v, s, labels = tokenised
+        del tokenised
+        csr = _assemble([u, v, s], directed_to_undirected, node_labels=labels)
+        del u, v, s
     if csr is None:
         return None
     if restrict_to_lcc and csr.number_of_nodes() > 0:

@@ -26,6 +26,10 @@ churn — clean components keep their labels (rank-remapped for exact mode,
 BFS rows reused for landmark mode) and only affected components are
 re-labelled — with a full rebuild past the same
 :func:`~repro.signed.delta.within_patch_budget` threshold the CSR view uses.
+When the whole graph is one affected component (the common connected case),
+exact mode falls back to a bounded *affected-hub resweep* instead of a
+rebuild: hubs whose pruned BFS trees provably cannot have changed reuse
+their old label contributions and only the remainder re-run their BFS.
 Patched indexes are bit-identical to a from-scratch rebuild (property-tested
 in ``tests/test_labels.py``).
 
@@ -492,36 +496,45 @@ def _pll_labels(csr: CSRSignedGraph, hubs, rank_of, budget_bytes: Optional[int])
             table[hub_label_ranks] = _INF
             for chunk in touched:
                 visited[chunk] = False
-        # Merge the block into the CSR label arrays: per node, existing
-        # entries (smaller ranks) first, then this block's columns in rank
-        # order — np.nonzero on the row-major matrix yields exactly that.
-        labelled_mask = block != _INF
-        new_counts = labelled_mask.sum(axis=1).astype(np.int64)
-        rows, cols = np.nonzero(labelled_mask)
-        add_hubs = block_ranks[cols]
-        add_dists = block[rows, cols].astype(np.uint16)
-        old_counts = np.diff(lab_indptr)
-        merged_indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(old_counts + new_counts, out=merged_indptr[1:])
-        merged_hubs = np.empty(int(merged_indptr[-1]), dtype=np.int32)
-        merged_dists = np.empty(int(merged_indptr[-1]), dtype=np.uint16)
-        if lab_hubs.shape[0]:
-            shift = merged_indptr[:-1] - lab_indptr[:-1]
-            dest = np.arange(lab_hubs.shape[0], dtype=np.int64) + np.repeat(shift, old_counts)
-            merged_hubs[dest] = lab_hubs
-            merged_dists[dest] = lab_dists
-        if add_hubs.shape[0]:
-            seg_starts = np.cumsum(new_counts) - new_counts
-            within = np.arange(add_hubs.shape[0], dtype=np.int64) - np.repeat(
-                seg_starts, new_counts
-            )
-            dest = np.repeat(merged_indptr[:-1] + old_counts, new_counts) + within
-            merged_hubs[dest] = add_hubs
-            merged_dists[dest] = add_dists
-        lab_indptr, lab_hubs, lab_dists = merged_indptr, merged_hubs, merged_dists
+        lab_indptr, lab_hubs, lab_dists = _merge_block(
+            np, n, lab_indptr, lab_hubs, lab_dists, block, block_ranks
+        )
         if budget_bytes is not None and _label_nbytes(lab_indptr, lab_hubs, lab_dists) > budget_bytes:
             return None
     return lab_indptr, lab_hubs, lab_dists
+
+
+def _merge_block(np, n, lab_indptr, lab_hubs, lab_dists, block, block_ranks):
+    """Merge one dense hub block into the CSR label arrays.
+
+    Per node, existing entries (smaller ranks) first, then this block's
+    columns in rank order — ``np.nonzero`` on the row-major matrix yields
+    exactly that.
+    """
+    labelled_mask = block != _INF
+    new_counts = labelled_mask.sum(axis=1).astype(np.int64)
+    rows, cols = np.nonzero(labelled_mask)
+    add_hubs = block_ranks[cols]
+    add_dists = block[rows, cols].astype(np.uint16)
+    old_counts = np.diff(lab_indptr)
+    merged_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(old_counts + new_counts, out=merged_indptr[1:])
+    merged_hubs = np.empty(int(merged_indptr[-1]), dtype=np.int32)
+    merged_dists = np.empty(int(merged_indptr[-1]), dtype=np.uint16)
+    if lab_hubs.shape[0]:
+        shift = merged_indptr[:-1] - lab_indptr[:-1]
+        dest = np.arange(lab_hubs.shape[0], dtype=np.int64) + np.repeat(shift, old_counts)
+        merged_hubs[dest] = lab_hubs
+        merged_dists[dest] = lab_dists
+    if add_hubs.shape[0]:
+        seg_starts = np.cumsum(new_counts) - new_counts
+        within = np.arange(add_hubs.shape[0], dtype=np.int64) - np.repeat(
+            seg_starts, new_counts
+        )
+        dest = np.repeat(merged_indptr[:-1] + old_counts, new_counts) + within
+        merged_hubs[dest] = add_hubs
+        merged_dists[dest] = add_dists
+    return merged_indptr, merged_hubs, merged_dists
 
 
 def _build_exact(
@@ -736,6 +749,244 @@ def _patch_exact(
     return merged
 
 
+def _contribution_diff(np, old_nodes, old_dists, new_nodes, new_dists):
+    """Nodes whose entry under one hub differs between old and new labels.
+
+    Both pairs are sorted by node.  Returns the union of nodes present on
+    one side only and nodes present on both sides with different distances.
+    """
+    if old_nodes.shape[0] == 0:
+        return new_nodes
+    if new_nodes.shape[0] == 0:
+        return old_nodes
+    pos = np.searchsorted(new_nodes, old_nodes).clip(0, new_nodes.shape[0] - 1)
+    matched = new_nodes[pos] == old_nodes
+    changed_old = old_nodes[~matched | (new_dists[pos] != old_dists)]
+    pos = np.searchsorted(old_nodes, new_nodes).clip(0, old_nodes.shape[0] - 1)
+    new_only = new_nodes[old_nodes[pos] != new_nodes]
+    if new_only.shape[0] == 0:
+        return changed_old
+    return np.union1d(changed_old, new_only)
+
+
+def _resweep_exact(
+    index: LabelIndex, csr: CSRSignedGraph, dirty, budget_bytes, stats=None
+) -> Optional[LabelIndex]:
+    """Affected-hub resweep for graphs where the component sweep is useless.
+
+    On a connected graph every churn event "affects" the whole node set, so
+    :func:`_patch_exact`'s clean-component reuse degenerates to a full
+    rebuild.  But a small churn batch still leaves most hubs' *pruned BFS
+    trees* untouched: a hub's label contribution only depends on the
+    adjacency rows of the nodes it labels (``S``), on the earlier-ranked
+    labels at ``S`` and its neighbourhood ``N(S)``, and on its own rank
+    position.  This pass replays the hub sweep in new-rank order, reusing a
+    hub's old contribution verbatim whenever
+
+    * the hub itself and every node it labelled are clean (``dirty``), and
+    * no earlier-ranked label at ``S`` or ``N(S)`` changed (``lab_changed``
+      plus its one-hop adjacency dilation ``lab_changed_adj``),
+
+    and re-running the standard pruned BFS otherwise.  Re-run hubs are
+    diffed against their old contribution and the differing nodes (plus
+    neighbours) feed the change masks, so downstream reuse decisions see
+    every label perturbation.  Rank crossings need one extra guard: a hub
+    ``d`` whose rank moved past ``h`` changes which side of ``h`` its
+    entries land on, even where the entry values themselves are unchanged
+    (so the re-run diff alone would miss them).  Only dirty hubs can cross
+    a clean one — clean keys ``(-degree, id)`` are unchanged, so clean
+    relative order is preserved — and both rank permutations are in hand,
+    so the crossing test is exact: when some dirty hub crosses ``h``, the
+    reuse check additionally consults a mask of every dirty hub's old
+    contribution (plus neighbours).
+
+    Returns ``None`` (caller rebuilds) when too many hubs need re-running,
+    or past ``budget_bytes``.  Output is bit-identical to a full rebuild.
+    """
+    np = _np()
+    if stats is None:
+        stats = {}
+    stats.update(reruns=0, reused=0, outcome="swept")
+    n = csr.number_of_nodes()
+    indptr, indices = csr.indptr, csr.indices
+    order = hub_order_for(csr)
+    rank_of = np.empty(n, dtype=np.int64)
+    rank_of[order] = np.arange(n, dtype=np.int64)
+
+    # Invert the node-major label arrays hub-major: contribution slice per
+    # old hub, node-ascending within each hub (stable sort keeps the
+    # node-major order).
+    entry_nodes = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(index.label_indptr)
+    )
+    entry_hub = np.asarray(index.hub_order)[np.asarray(index.label_hubs)]
+    by_hub = np.argsort(entry_hub, kind="stable")
+    contrib_nodes = entry_nodes[by_hub]
+    contrib_dists = np.asarray(index.label_dists)[by_hub]
+    hub_starts = np.searchsorted(entry_hub[by_hub], np.arange(n + 1, dtype=np.int64))
+
+    def mark(mask, mask_adj, nodes):
+        if nodes.shape[0] == 0:
+            return
+        mask[nodes] = True
+        starts = indptr[nodes]
+        counts = indptr[nodes + 1] - starts
+        total = int(counts.sum())
+        if total:
+            offsets = np.cumsum(counts) - counts
+            neighbours = indices[
+                np.repeat(starts, counts)
+                + np.arange(total, dtype=np.int64)
+                - np.repeat(offsets, counts)
+            ]
+            mask_adj[neighbours] = True
+
+    lab_changed = np.zeros(n, dtype=bool)
+    lab_changed_adj = np.zeros(n, dtype=bool)
+    # Crossing guard: old/new rank of every dirty hub, plus the union of
+    # their old contributions — consulted only for hubs some dirty hub
+    # actually crosses.
+    old_rank = np.empty(n, dtype=np.int64)
+    old_rank[np.asarray(index.hub_order)] = np.arange(n, dtype=np.int64)
+    dirty_ids = np.flatnonzero(dirty)
+    dirty_old_rank = old_rank[dirty_ids]
+    dirty_new_rank = rank_of[dirty_ids]
+    crossed_entries = np.zeros(n, dtype=bool)
+    crossed_entries_adj = np.zeros(n, dtype=bool)
+    mark(
+        crossed_entries,
+        crossed_entries_adj,
+        np.unique(entry_nodes[dirty[entry_hub]]),
+    )
+
+    reruns = 0
+    rerun_limit = max(_BLOCK, n // 4)
+    # Cheap lower bound on the re-runs ahead: every hub labelling a dirty
+    # node must re-run (plus the dirty hubs themselves).  Bail before paying
+    # for any BFS or merge when that bound already exceeds the budget.
+    # (Every hub labels itself, so dirty hubs are already in the bound.)
+    if np.unique(entry_hub[dirty[entry_nodes]]).shape[0] > rerun_limit:
+        stats["outcome"] = "bailed:dirty-fan-in"
+        return None
+
+    lab_indptr = np.zeros(n + 1, dtype=np.int64)
+    lab_hubs = np.empty(0, dtype=np.int32)
+    lab_dists = np.empty(0, dtype=np.uint16)
+    table = np.full(n, _INF, dtype=np.int32)
+    visited = np.zeros(n, dtype=bool)
+    for block_start in range(0, n, _BLOCK):
+        block_hubs = order[block_start : block_start + _BLOCK]
+        block_size = len(block_hubs)
+        block_ranks = np.asarray(rank_of[block_hubs], dtype=np.int32)
+        block = np.full((n, block_size), _INF, dtype=np.int32)
+        for j in range(block_size):
+            hub = int(block_hubs[j])
+            rank = block_start + j
+            s, e = int(hub_starts[hub]), int(hub_starts[hub + 1])
+            old_nodes = contrib_nodes[s:e]
+            old_dists = contrib_dists[s:e].astype(np.int32)
+            reusable = (
+                not dirty[hub]
+                and old_nodes.shape[0]
+                and not dirty[old_nodes].any()
+                and not lab_changed[old_nodes].any()
+                and not lab_changed_adj[old_nodes].any()
+            )
+            if reusable and bool(
+                (
+                    (dirty_old_rank < old_rank[hub]) != (dirty_new_rank < rank)
+                ).any()
+            ):
+                reusable = (
+                    not crossed_entries[old_nodes].any()
+                    and not crossed_entries_adj[old_nodes].any()
+                )
+            if reusable:
+                block[old_nodes, j] = old_dists
+                stats["reused"] += 1
+                continue
+            reruns += 1
+            stats["reruns"] = reruns
+            if reruns > rerun_limit:
+                stats["outcome"] = "bailed:rerun-limit"
+                return None
+            # Standard pruned BFS, identical to the fresh build's inner loop.
+            hub_start, hub_end = int(lab_indptr[hub]), int(lab_indptr[hub + 1])
+            hub_label_ranks = lab_hubs[hub_start:hub_end]
+            table[hub_label_ranks] = lab_dists[hub_start:hub_end]
+            block_cols = np.flatnonzero(block[hub, :j] != _INF)
+            block_vals = block[hub, block_cols]
+            block[hub, j] = 0
+            visited[hub] = True
+            touched = [np.asarray([hub], dtype=np.int64)]
+            labelled_chunks = [touched[0]]
+            frontier = touched[0]
+            dist = 0
+            while frontier.shape[0]:
+                dist += 1
+                starts = indptr[frontier]
+                counts = indptr[frontier + 1] - starts
+                total = int(counts.sum())
+                if total == 0:
+                    break
+                offsets = np.cumsum(counts) - counts
+                neighbors = indices[
+                    np.repeat(starts, counts)
+                    + np.arange(total, dtype=np.int64)
+                    - np.repeat(offsets, counts)
+                ]
+                cand = neighbors[~visited[neighbors]]
+                if cand.shape[0] == 0:
+                    break
+                cand = np.unique(cand).astype(np.int64)
+                visited[cand] = True
+                touched.append(cand)
+                pruned_at = _prune_query(
+                    np, cand, lab_indptr, lab_hubs, lab_dists, table, block, block_cols, block_vals
+                )
+                labelled = cand[pruned_at > dist]
+                if labelled.shape[0]:
+                    block[labelled, j] = dist
+                    labelled_chunks.append(labelled)
+                frontier = labelled
+            table[hub_label_ranks] = _INF
+            for chunk in touched:
+                visited[chunk] = False
+            new_nodes = np.sort(np.concatenate(labelled_chunks))
+            mark(
+                lab_changed,
+                lab_changed_adj,
+                _contribution_diff(
+                    np, old_nodes, old_dists, new_nodes, block[new_nodes, j]
+                ),
+            )
+            # A non-local mutation (e.g. a long-range shortcut) perturbs a
+            # top hub's distances across much of the graph; with average
+            # label sizes in the hundreds, change masks covering even a
+            # small fraction of the nodes doom almost every later reuse
+            # check, so abort early rather than sweep to the re-run limit.
+            if int((dirty | lab_changed | lab_changed_adj).sum()) > max(
+                _BLOCK, n // 8
+            ):
+                stats["outcome"] = "bailed:change-coverage"
+                return None
+        lab_indptr, lab_hubs, lab_dists = _merge_block(
+            np, n, lab_indptr, lab_hubs, lab_dists, block, block_ranks
+        )
+        if budget_bytes is not None and _label_nbytes(lab_indptr, lab_hubs, lab_dists) > budget_bytes:
+            return None
+    return LabelIndex(
+        MODE_EXACT,
+        n,
+        csr.generation,
+        requested_mode=index.requested_mode,
+        hub_order=order,
+        label_indptr=lab_indptr,
+        label_hubs=lab_hubs,
+        label_dists=lab_dists,
+    )
+
+
 def refresh_label_index(
     index: LabelIndex,
     graph: SignedGraph,
@@ -751,8 +1002,9 @@ def refresh_label_index(
     ``"rebuilt"``.  The patch path is taken when the churn since the index's
     generation stays within the shared
     :func:`~repro.signed.delta.within_patch_budget` threshold, the node set
-    is unchanged, and the affected-component sweep is conservative; patched
-    output is bit-identical to a rebuild.
+    is unchanged, and either the affected-component sweep is conservative or
+    (exact mode, connected graphs) the affected-hub resweep stays within its
+    re-run bound; patched output is bit-identical to a rebuild.
     """
     _np()
     generation = graph.generation
@@ -780,11 +1032,44 @@ def refresh_label_index(
         events < 0
         or graph.number_of_nodes() != index.num_nodes
         or graph.node_set_changed_since(index.generation)
-        or not within_patch_budget(events, graph.number_of_edges())
     ):
+        return rebuilt()
+    topology_dirty = graph.topology_touched_nodes_since(index.generation)
+    if not topology_dirty:
+        # Pure sign-flip churn: no distance can have moved (and neither can
+        # the degree-ranked hub order), so the label planes are still exact —
+        # re-stamp them at the current generation.
+        return (
+            LabelIndex(
+                index.mode,
+                index.num_nodes,
+                generation,
+                requested_mode=index.requested_mode,
+                hub_order=index.hub_order,
+                label_indptr=index.label_indptr,
+                label_hubs=index.label_hubs,
+                label_dists=index.label_dists,
+                landmark_ids=index.landmark_ids,
+                landmark_rows=index.landmark_rows,
+            ),
+            "patched",
+        )
+    if not within_patch_budget(events, graph.number_of_edges()):
         return rebuilt()
     affected = graph.affected_nodes_since(index.generation)
     if affected is None:
+        # The component sweep found the churn reaches most of the graph —
+        # on a connected graph it always does.  Exact mode still salvages
+        # the build with the affected-hub resweep: reuse every hub whose
+        # pruned BFS provably cannot have changed, re-run the rest.  The
+        # dirty seed is the *topology*-touched set — sign flips cannot
+        # perturb any BFS tree.
+        if index.mode == MODE_EXACT:
+            dirty = _dirty_mask(csr, topology_dirty)
+            if dirty is not None and dirty.any():
+                patched = _resweep_exact(index, csr, dirty, budget_bytes)
+                if patched is not None:
+                    return patched, "patched"
         return rebuilt()
     dirty = _dirty_mask(csr, affected)
     if dirty is None:

@@ -39,6 +39,23 @@ class SkillAssignment:
 
     # ------------------------------------------------------------------ build
 
+    @classmethod
+    def _from_maps(
+        cls,
+        user_skills: Dict[User, Set[Skill]],
+        skill_users: Dict[Skill, Set[User]],
+    ) -> "SkillAssignment":
+        """Adopt pre-built forward/inverse maps without per-pair insertion.
+
+        Internal constructor for bulk generators: the two maps must be exact
+        inverses of each other and ``skill_users`` must contain no empty sets
+        (the invariant :meth:`remove_skill_from_user` maintains).
+        """
+        assignment = cls()
+        assignment._user_skills = user_skills
+        assignment._skill_users = skill_users
+        return assignment
+
     def add_user(self, user: User, skills: Iterable[Skill] = ()) -> None:
         """Register ``user`` with the given skills (merging with existing ones)."""
         self._user_skills.setdefault(user, set())

@@ -35,7 +35,7 @@ from repro.signed import (
 )
 from repro.signed.components import largest_connected_component
 from repro.signed.io import read_edge_list
-from repro.signed.ingest import component_labels, read_edge_arrays
+from repro.signed.ingest import component_labels, read_edge_arrays, read_edge_tokens
 from repro.signed.labels import (
     build_label_index,
     labels_equal,
@@ -124,20 +124,35 @@ class TestVectorisedParseEquivalence:
     @pytest.mark.parametrize(
         "line",
         [
-            "a b 1",  # non-numeric nodes: dict parser keeps them as strings
-            "1 2 01",  # leading zero: not a valid vector sign token
-            "01 2 1",  # leading-zero node: "01" and "1" differ as dict labels
+            "1 2 01",  # "01" is not a valid sign token to the dict parser
+            "01 2 1",  # int("01") == int("1"): non-bijective label coercion
             "1 2",  # missing sign column
-            "1 2 +",  # bare sign character
             "1 2 2",  # sign outside ±1
-            "1 2 1 3",  # extra column
-            "1 12345678901234567890 1",  # >18-digit run
-            "1-2 3 1",  # sign glued inside a token
+            "a b",  # short line in token mode
+            "1_0 2 1",  # underscore int literal: int("1_0") == 10
         ],
     )
     def test_unsupported_inputs_fall_back(self, tmp_path, line):
         path = write_edges(tmp_path / "odd.edges", ["1 2 1", line])
         assert parse_edge_list_csr(path) is None
+
+    @pytest.mark.parametrize(
+        "lines",
+        [
+            ["a b 1", "b c -1"],  # string labels via the token-mode scanner
+            ["1 2 +", "2 3 -"],  # bare sign characters
+            ["1 2 1 3", "2 3 -1 weight"],  # extra columns (dict takes first 3)
+            ["1 12345678901234567890 1"],  # >int64 but canonical decimal
+            ["1-2 3 1"],  # glued sign: a string label to both parsers
+        ],
+    )
+    def test_token_mode_inputs_match_dict_parser(self, tmp_path, lines):
+        path = write_edges(tmp_path / "tok.edges", ["1 2 1"] + lines)
+        vectorised = parse_edge_list_csr(path)
+        assert vectorised is not None
+        assert_csr_equal(
+            vectorised, CSRSignedGraph.from_signed_graph(dict_reference(path))
+        )
 
     def test_error_policy_conflict_falls_back(self, tmp_path):
         path = write_edges(tmp_path / "conflict.edges", ["1 2 1", "2 1 -1"])
@@ -191,6 +206,116 @@ class TestVectorisedParseEquivalence:
     def test_hypothesis_bit_identity(self, tmp_path, edges, policy, lcc):
         path = write_edges(
             tmp_path / "h.edges", [f"{u} {v} {s}" for u, v, s in edges] or [""]
+        )
+        reference = dict_reference(path, policy, lcc)
+        vectorised = parse_edge_list_csr(
+            path, directed_to_undirected=policy, restrict_to_lcc=lcc
+        )
+        assert vectorised is not None
+        assert_csr_equal(vectorised, CSRSignedGraph.from_signed_graph(reference))
+
+
+class TestTokenModeIngest:
+    """String/quoted node labels through the bytes-token ``np.unique`` pass."""
+
+    def random_name_lines(self, seed, num_lines=140):
+        rng = random.Random(seed)
+        names = (
+            [f"user{i}" for i in range(20)]
+            + [f'"quoted {i}"'.replace(" ", "_") for i in range(6)]
+            + [str(i) for i in range(8)]  # mixed int labels
+        )
+        signs = ("1", "+1", "-1", "+", "-")
+        return [
+            f"{rng.choice(names)} {rng.choice(names)} {rng.choice(signs)}"
+            for _ in range(num_lines)
+        ]
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("lcc", (False, True))
+    def test_string_labels_bit_identical(self, tmp_path, policy, lcc):
+        for seed in range(4):
+            path = write_edges(
+                tmp_path / f"s{seed}.edges", self.random_name_lines(seed)
+            )
+            reference = dict_reference(path, policy, lcc)
+            vectorised = parse_edge_list_csr(
+                path, directed_to_undirected=policy, restrict_to_lcc=lcc
+            )
+            assert vectorised is not None
+            assert_csr_equal(vectorised, CSRSignedGraph.from_signed_graph(reference))
+
+    def test_chunk_boundaries_do_not_change_the_result(self, tmp_path):
+        path = write_edges(tmp_path / "tchunk.edges", self.random_name_lines(42))
+        whole = parse_edge_list_csr(path)
+        assert whole is not None
+        for chunk_bytes in (16, 64, 257):
+            chunked = parse_edge_list_csr(path, chunk_bytes=chunk_bytes)
+            assert chunked is not None
+            assert_csr_equal(whole, chunked)
+
+    def test_read_edge_tokens_round_trip(self, tmp_path):
+        path = write_edges(
+            tmp_path / "raw.edges", ["a b 1", "b 5 -", "5 a +1", "# done"]
+        )
+        u, v, s, labels = read_edge_tokens(path)
+        resolve = lambda ids: [labels[i] for i in ids.tolist()]
+        assert resolve(u) == ["a", "b", 5]
+        assert resolve(v) == ["b", 5, "a"]
+        assert s.tolist() == [1, -1, 1]
+
+    def test_comments_and_separators(self, tmp_path):
+        path = write_edges(
+            tmp_path / "messy.edges",
+            [
+                "# led by a comment",
+                "alice\tbob\t+",
+                "bob,carol,-1",
+                "   % mid comment",
+                "  carol alice 1  ",
+                "",
+            ],
+        )
+        vectorised = parse_edge_list_csr(path)
+        assert vectorised is not None
+        assert_csr_equal(
+            vectorised, CSRSignedGraph.from_signed_graph(dict_reference(path))
+        )
+        assert vectorised._nodes == ["alice", "bob", "carol"]
+
+    def test_non_bijective_int_coercion_falls_back(self, tmp_path):
+        # int("+5") == int("5"): the dict parser merges the two spellings into
+        # one node, which byte-distinct vocab ids cannot reproduce.
+        path = write_edges(tmp_path / "coerce.edges", ["a 5 1", "+5 a -1"])
+        assert parse_edge_list_csr(path) is None
+
+    def test_non_ascii_and_overlong_labels_fall_back(self, tmp_path):
+        utf8 = tmp_path / "utf8.edges"
+        utf8.write_text("héllo wörld 1\n", encoding="utf-8")
+        assert parse_edge_list_csr(utf8) is None
+        overlong = write_edges(tmp_path / "long.edges", ["x" * 80 + " y 1"])
+        assert parse_edge_list_csr(overlong) is None
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.sampled_from([f"n{i}" for i in range(8)] + ["3", "7"]),
+                st.sampled_from([f"n{i}" for i in range(8)] + ["3", "7"]),
+                st.sampled_from(("1", "+1", "-1", "+", "-")),
+            ),
+            max_size=30,
+        ),
+        policy=st.sampled_from(POLICIES),
+        lcc=st.booleans(),
+    )
+    def test_hypothesis_bit_identity(self, tmp_path, edges, policy, lcc):
+        path = write_edges(
+            tmp_path / "ht.edges", [f"{u} {v} {s}" for u, v, s in edges] or [""]
         )
         reference = dict_reference(path, policy, lcc)
         vectorised = parse_edge_list_csr(
@@ -268,13 +393,29 @@ class TestLazyFacade:
                 assert oracle.distance(u, v) == twin_oracle.distance(u, v)
         assert relation.graph.materialised is False
 
-    def test_mutation_materialises_and_keeps_csr_in_sync(self):
+    def test_mutation_stays_dict_free_and_keeps_csr_in_sync(self):
         csr, reference = small_csr()
         wrapper = as_signed_graph(csr)
         new_node = max(reference.nodes()) + 1
         anchor = next(iter(reference))
-        wrapper.add_edge(anchor, new_node, -1)
-        reference.add_edge(anchor, new_node, -1)
+        for graph in (wrapper, reference):
+            graph.add_edge(anchor, new_node, -1)
+            graph.set_sign(anchor, new_node, +1)
+            victim = next(iter(graph.neighbors(anchor)))
+            graph.remove_edge(anchor, victim)
+        assert not wrapper.materialised
+        assert wrapper.generation == reference.generation
+        assert_csr_equal(
+            wrapper.csr_view(), CSRSignedGraph.from_signed_graph(reference)
+        )
+        assert not wrapper.materialised  # snapshotting churn is dict-free too
+
+    def test_remove_node_materialises_and_stays_in_sync(self):
+        csr, reference = small_csr()
+        wrapper = as_signed_graph(csr)
+        anchor = next(iter(reference))
+        for graph in (wrapper, reference):
+            graph.remove_node(anchor)
         assert wrapper.materialised
         assert_csr_equal(
             wrapper.csr_view(), CSRSignedGraph.from_signed_graph(reference)

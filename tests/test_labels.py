@@ -267,6 +267,122 @@ class TestRefresh:
         if mode == "exact":
             assert_exact_index_matches_bfs(index, graph.csr_view())
 
+    @pytest.mark.parametrize("mode", ["exact", "landmark"])
+    def test_connected_graph_flip_only_churn_restamps(self, mode):
+        # On a connected graph the affected-component sweep covers everything
+        # (affected_nodes_since returns None), so the old refresh could only
+        # rebuild.  Sign flips cannot move any distance or degree rank, so a
+        # churn window containing nothing else must re-stamp the existing
+        # arrays — O(1), sharing storage with the stale index — for *both*
+        # modes, and stay bit-identical to a rebuild.
+        from repro.datasets.synthetic import synthetic_csr_network
+
+        csr, _ = synthetic_csr_network(400, average_degree=6.0, seed=17)
+        graph = csr.to_signed_graph()
+        index = build_label_index(graph.csr_view(), mode=mode)
+        rng = np.random.default_rng(23)
+        nodes = graph.nodes()
+        flipped = 0
+        while flipped < 10:
+            u, v = (nodes[int(i)] for i in rng.choice(len(nodes), 2, replace=False))
+            if graph.has_edge(u, v):
+                graph.set_sign(u, v, -graph.sign(u, v))
+                flipped += 1
+        assert graph.affected_nodes_since(index.generation) is None
+        refreshed, how = refresh_label_index(index, graph)
+        assert how == "patched"
+        assert refreshed.generation == graph.generation
+        if mode == "exact":
+            assert refreshed.label_hubs is index.label_hubs
+            assert refreshed.label_dists is index.label_dists
+        else:
+            assert refreshed.landmark_rows is index.landmark_rows
+        assert labels_equal(refreshed, build_label_index(graph.csr_view(), mode=mode))
+
+    def test_connected_graph_topology_churn_stays_exact(self):
+        # Topology events on an expander-like connected graph genuinely
+        # perturb labels far beyond the mutation sites (degree-tie rank
+        # crossings change prune decisions in the true rebuild), so the
+        # bounded resweep is free to give up — but whichever path fires,
+        # the result must be bit-identical to a rebuild.
+        from repro.datasets.synthetic import synthetic_csr_network
+
+        csr, _ = synthetic_csr_network(400, average_degree=6.0, seed=17)
+        graph = csr.to_signed_graph()
+        index = build_label_index(graph.csr_view(), mode="exact")
+        rng = np.random.default_rng(23)
+        nodes = graph.nodes()
+        changed = 0
+        while changed < 6:  # ~0.5% of ~1200 edges
+            u, v = (nodes[int(i)] for i in rng.choice(len(nodes), 2, replace=False))
+            if graph.has_edge(u, v):
+                graph.set_sign(u, v, -graph.sign(u, v))
+            else:
+                graph.add_edge(u, v, POSITIVE if rng.random() < 0.8 else NEGATIVE)
+            changed += 1
+        assert graph.affected_nodes_since(index.generation) is None
+        refreshed, how = refresh_label_index(index, graph)
+        assert how in ("patched", "rebuilt")
+        assert refreshed.generation == graph.generation
+        assert labels_equal(refreshed, build_label_index(graph.csr_view(), mode="exact"))
+
+    def test_connected_graph_local_removal_sweeps(self):
+        # A topology event whose distance impact is confined to the mutation
+        # site *does* survive the bounded resweep: removing one leaf edge of a
+        # star isolates the leaf, drops it past its degree-tie peers in the
+        # hub ranking (exercising the crossing masks), and changes no other
+        # contribution — so refresh patches instead of rebuilding.
+        graph = SignedGraph()
+        for leaf in range(1, 41):
+            graph.add_edge(0, leaf, POSITIVE if leaf % 3 else NEGATIVE)
+        index = build_label_index(graph.csr_view(), mode="exact")
+        graph.remove_edge(0, 20)
+        assert graph.affected_nodes_since(index.generation) is None
+        refreshed, how = refresh_label_index(index, graph)
+        assert how == "patched"
+        assert refreshed.generation == graph.generation
+        assert labels_equal(refreshed, build_label_index(graph.csr_view(), mode="exact"))
+        assert_exact_index_matches_bfs(refreshed, graph.csr_view())
+
+    def test_connected_graph_landmark_topology_churn_rebuilds(self):
+        # The re-stamp only covers distance-neutral churn; a topology event
+        # in landmark mode has no resweep, so refresh falls back to rebuild.
+        from repro.datasets.synthetic import synthetic_csr_network
+
+        csr, _ = synthetic_csr_network(120, average_degree=5.0, seed=3)
+        graph = csr.to_signed_graph()
+        index = build_label_index(graph.csr_view(), mode="landmark")
+        graph.add_edge(graph.nodes()[0], graph.nodes()[50], NEGATIVE)
+        refreshed, how = refresh_label_index(index, graph)
+        assert how == "rebuilt"
+        assert labels_equal(
+            refreshed, build_label_index(graph.csr_view(), mode="landmark")
+        )
+
+    def test_resweep_handles_removals_and_degree_rank_crossings(self):
+        # Edge removals change hub degrees, so dirty hubs cross positions in
+        # the degree ranking — the conservative pre-seeded change masks must
+        # keep the resweep bit-identical to a rebuild.
+        from repro.datasets.synthetic import synthetic_csr_network
+
+        csr, _ = synthetic_csr_network(300, average_degree=5.0, seed=29)
+        graph = csr.to_signed_graph()
+        index = build_label_index(graph.csr_view(), mode="exact")
+        rng = np.random.default_rng(31)
+        nodes = graph.nodes()
+        removed = 0
+        for _ in range(200):
+            if removed >= 5:
+                break
+            u, v = (nodes[int(i)] for i in rng.choice(len(nodes), 2, replace=False))
+            if graph.has_edge(u, v):
+                graph.remove_edge(u, v)
+                removed += 1
+        graph.add_edge(nodes[0], nodes[150], POSITIVE)
+        refreshed, how = refresh_label_index(index, graph)
+        assert how in ("patched", "rebuilt")
+        assert labels_equal(refreshed, build_label_index(graph.csr_view(), mode="exact"))
+
     def test_node_set_change_rebuilds(self):
         graph = multi_component_graph(num_cliques=4, clique_size=5)
         index = build_label_index(graph.csr_view())

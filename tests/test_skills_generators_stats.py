@@ -65,6 +65,30 @@ class TestAssignSkills:
         with pytest.raises(ValueError):
             assign_skills_zipf([], num_skills=5)
 
+    def test_zipf_legacy_path_matches_contract(self, monkeypatch):
+        # The numpy-less fallback keeps the same guarantees (coverage, rank
+        # monotonicity, determinism) even though its RNG stream differs.
+        import repro.skills.generators as generators
+
+        monkeypatch.setattr(generators, "_np", None)
+        users = list(range(120))
+        first = assign_skills_zipf(users, num_skills=15, skills_per_user=3, seed=9)
+        second = assign_skills_zipf(users, num_skills=15, skills_per_user=3, seed=9)
+        assert first == second
+        assert all(first.skills_of(user) for user in users)
+        assert first.skill_frequency("skill-1") > first.skill_frequency("skill-15")
+
+    def test_zipf_vectorised_maps_are_consistent(self):
+        pytest.importorskip("numpy")
+        users = [f"u{i}" for i in range(150)]
+        assignment = assign_skills_zipf(users, num_skills=12, skills_per_user=2.5, seed=4)
+        for user in users:
+            for skill in assignment.skills_of(user):
+                assert user in assignment.users_with(skill)
+        for skill in assignment.skills():
+            for user in assignment.users_with(skill):
+                assert skill in assignment.skills_of(user)
+
     def test_uniform_assignment_exact_count(self):
         assignment = assign_skills_uniform(list(range(20)), num_skills=10, skills_per_user=3, seed=2)
         assert all(len(assignment.skills_of(user)) == 3 for user in range(20))

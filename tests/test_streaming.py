@@ -87,6 +87,93 @@ class TestStreamingEquivalence:
                     assert live.cost == cold.cost
 
 
+class TestCsrOnlyStreaming:
+    """Dict-free streaming: facade datasets churn without materialising."""
+
+    @pytest.fixture(autouse=True)
+    def _twin_datasets(self):
+        # Register two datasets over the *same* generation-0 planes: one kept
+        # as a CSR facade, one rebuilt as the dict backend.  Bit-identical
+        # reports across the pair is the cross-backend acceptance property.
+        pytest.importorskip("numpy")
+        from repro.datasets.registry import _FACTORIES, register_dataset
+        from repro.datasets.synthetic import SignedDataset, synthetic_csr_network
+        from repro.signed import as_signed_graph
+
+        def _planes(seed):
+            csr, _ = synthetic_csr_network(
+                120, average_degree=6.0, num_factions=4, seed=seed
+            )
+            skills = assign_skills_zipf(
+                list(csr._nodes), num_skills=10, skills_per_user=2.5, seed=seed + 1
+            )
+            return csr, skills
+
+        def facade_factory(seed=101, scale=None):
+            csr, skills = _planes(seed)
+            return SignedDataset(
+                name="twin-facade", graph=as_signed_graph(csr), skills=skills
+            )
+
+        def dict_factory(seed=101, scale=None):
+            csr, skills = _planes(seed)
+            return SignedDataset(
+                name="twin-dict", graph=csr.to_signed_graph(), skills=skills
+            )
+
+        register_dataset("twin-facade", facade_factory)
+        register_dataset("twin-dict", dict_factory)
+        yield
+        _FACTORIES.pop("twin-facade", None)
+        _FACTORIES.pop("twin-dict", None)
+
+    def _config(self, dataset, **overrides):
+        base = dict(
+            dataset=dataset,
+            relation="SPO",
+            backend="csr",
+            algorithms=("LCMD", "RFMC"),
+            num_rounds=3,
+            churn_per_round=20,
+            tasks_per_round=2,
+            task_size=2,
+            max_seeds=None,
+            seed=55,
+        )
+        base.update(overrides)
+        return StreamingConfig(**base)
+
+    def test_facade_run_stays_dict_free(self):
+        # csr_only=None auto-detects the facade; run_streaming raises
+        # RuntimeError the moment any round materialises adjacency dicts,
+        # so completing is the regression assertion.
+        report = run_streaming(self._config("twin-facade", csr_only=True))
+        assert len(report.rounds) == 3
+        assert any(q.solved for r in report.rounds for q in r.queries)
+
+    def test_csr_only_rejects_dict_datasets(self):
+        with pytest.raises(ValueError, match="csr_only"):
+            run_streaming(self._config("twin-dict", csr_only=True))
+
+    def test_facade_report_bit_identical_to_dict_backend(self):
+        facade_report = run_streaming(self._config("twin-facade"))
+        dict_report = run_streaming(self._config("twin-dict", csr_only=False))
+        assert len(facade_report.rounds) == len(dict_report.rounds)
+        for left, right in zip(facade_report.rounds, dict_report.rounds):
+            assert left.round_index == right.round_index
+            assert left.edges_added == right.edges_added
+            assert left.edges_removed == right.edges_removed
+            assert left.signs_flipped == right.signs_flipped
+            assert left.generation == right.generation
+            assert len(left.queries) == len(right.queries)
+            for lq, rq in zip(left.queries, right.queries):
+                assert lq.algorithm == rq.algorithm
+                assert lq.task.skills == rq.task.skills
+                assert lq.solved == rq.solved
+                assert lq.cost == rq.cost
+                assert lq.team_size == rq.team_size
+
+
 class TestRunStreaming:
     def test_report_structure_and_determinism(self):
         config = StreamingConfig(
