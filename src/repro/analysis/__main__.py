@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — same entry point as ``repro-teams analyze``."""
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main(prog="python -m repro.analysis"))

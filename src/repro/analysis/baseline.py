@@ -1,0 +1,118 @@
+"""The checked-in baseline: accepted findings the gate does not fail on.
+
+A baseline entry waives one finding by its line-independent fingerprint
+(rule id + path + message), so routine edits that move code around do not
+churn the file.  The policy for this repository is to keep the baseline
+**empty**: true positives get fixed, deliberate exceptions get an inline
+``# repro: ignore[rule-id]`` next to the code they excuse.  The mechanism
+exists so that a future rule can land before its last fix does — park the
+stragglers here, burn them down, never add to the file in the same PR that
+introduces the code.
+
+``--strict`` additionally fails on *stale* entries (fingerprints matching
+nothing), so the baseline can only shrink.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.core import Finding
+
+__all__ = ["Baseline", "filter_baselined", "DEFAULT_BASELINE_NAME"]
+
+#: File name ``analyze`` looks for next to ``pyproject.toml`` by default.
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The set of waived finding fingerprints, with their human context."""
+
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Load ``path``; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ValueError(
+                f"baseline file {path!r} is not an analyze baseline "
+                "(expected a JSON object with a 'findings' list)"
+            )
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"baseline file {path!r} has format version {version!r}; "
+                f"this analyzer reads version {_FORMAT_VERSION}"
+            )
+        entries: Dict[str, dict] = {}
+        for record in payload["findings"]:
+            entries[record["fingerprint"]] = record
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries = {
+            finding.fingerprint(): {
+                "fingerprint": finding.fingerprint(),
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in findings
+        }
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "findings": sorted(
+                self.entries.values(),
+                key=lambda record: (record["path"], record["rule"], record["message"]),
+            ),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+
+def filter_baselined(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding], List[dict]]:
+    """Split ``findings`` against ``baseline``.
+
+    Returns ``(fresh, waived, stale)``: findings not in the baseline, findings
+    the baseline waives, and baseline entries that matched nothing (stale —
+    ``--strict`` fails on them so the file can only shrink).
+    """
+    fresh: List[Finding] = []
+    waived: List[Finding] = []
+    matched = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in baseline.entries:
+            matched.add(fingerprint)
+            waived.append(finding)
+        else:
+            fresh.append(finding)
+    stale = [
+        record
+        for fingerprint, record in sorted(baseline.entries.items())
+        if fingerprint not in matched
+    ]
+    return fresh, waived, stale

@@ -1,0 +1,131 @@
+"""The ``analyze`` entry point.
+
+Shared by ``repro-teams analyze`` and ``python -m repro.analysis``.  Exit
+status: 0 when the gate passes, 1 on fresh findings (or, under ``--strict``,
+stale baseline entries), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, filter_baselined
+from repro.analysis.core import (
+    all_rules,
+    analyze_project,
+    default_target,
+    load_project,
+)
+from repro.analysis.report import render_json, render_text
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser(prog: str = "repro-teams analyze") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Run the project's invariant lint rules (AST-based, stdlib-only) "
+            "over the source tree."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report (the CI analysis.json artifact)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries (the baseline can only shrink)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "baseline file of waived findings "
+            f"(default: {DEFAULT_BASELINE_NAME} next to the source tree, "
+            "when present)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write the current findings as a new baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule id and its contract, then exit",
+    )
+    return parser
+
+
+def _default_baseline_path() -> Optional[str]:
+    """``analysis-baseline.json`` in the repo root (above src/) or the cwd."""
+    package_root = default_target()  # .../src/repro
+    repo_root = os.path.dirname(os.path.dirname(package_root))
+    for root in (repo_root, os.getcwd()):
+        candidate = os.path.join(root, DEFAULT_BASELINE_NAME)
+        if os.path.exists(candidate):
+            return candidate
+    return None
+
+
+def main(argv: Optional[Sequence[str]] = None, prog: str = "repro-teams analyze") -> int:
+    parser = build_parser(prog=prog)
+    options = parser.parse_args(argv)
+
+    rules = all_rules()
+    if options.list_rules:
+        for rule in sorted(rules, key=lambda r: r.id):
+            print(f"{rule.id}: {rule.contract}")
+        return 0
+
+    paths: List[str] = list(options.paths) or [default_target()]
+    for path in paths:
+        if not os.path.exists(path):
+            parser.error(f"no such file or directory: {path}")
+
+    project, parse_errors = load_project(paths)
+    findings = analyze_project(project, rules=rules, parse_errors=parse_errors)
+
+    if options.write_baseline:
+        Baseline.from_findings(findings).save(options.write_baseline)
+        print(
+            f"wrote {len(findings)} finding{'s' if len(findings) != 1 else ''} "
+            f"to {options.write_baseline}"
+        )
+        return 0
+
+    baseline_path = options.baseline or _default_baseline_path()
+    try:
+        baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+    except ValueError as error:
+        parser.error(str(error))
+    fresh, waived, stale = filter_baselined(findings, baseline)
+
+    if options.json:
+        print(render_json(fresh, waived, stale, rules))
+    else:
+        print(render_text(fresh, waived, stale))
+
+    if fresh:
+        return 1
+    if options.strict and stale:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

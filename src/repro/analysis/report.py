@@ -1,0 +1,75 @@
+"""Reporters for analysis results: human text and the CI JSON artifact."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.core import Finding, Rule
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    fresh: Sequence[Finding],
+    waived: Sequence[Finding] = (),
+    stale: Sequence[dict] = (),
+) -> str:
+    """One ``path:line: [rule] message`` line per finding, plus a summary."""
+    lines: List[str] = []
+    for finding in fresh:
+        lines.append(f"{finding.location()}: [{finding.rule}] {finding.message}")
+    for record in stale:
+        lines.append(
+            f"{record['path']}: [baseline] stale entry for rule "
+            f"{record['rule']!r} matches nothing (remove it): "
+            f"{record['message']}"
+        )
+    summary = f"{len(fresh)} finding{'s' if len(fresh) != 1 else ''}"
+    if waived:
+        summary += f", {len(waived)} baselined"
+    if stale:
+        summary += f", {len(stale)} stale baseline entr{'ies' if len(stale) != 1 else 'y'}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    fresh: Sequence[Finding],
+    waived: Sequence[Finding] = (),
+    stale: Sequence[dict] = (),
+    rules: Sequence[Rule] = (),
+) -> str:
+    """The machine-readable report the CI job uploads as ``analysis.json``."""
+    payload: Dict = {
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+                "fingerprint": finding.fingerprint(),
+            }
+            for finding in fresh
+        ],
+        "baselined": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+                "fingerprint": finding.fingerprint(),
+            }
+            for finding in waived
+        ],
+        "stale_baseline": list(stale),
+        "rules": [
+            {"id": rule.id, "contract": rule.contract} for rule in rules
+        ],
+        "summary": {
+            "findings": len(fresh),
+            "baselined": len(waived),
+            "stale_baseline": len(stale),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

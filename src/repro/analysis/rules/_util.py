@@ -1,0 +1,90 @@
+"""Shared AST helpers for the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = [
+    "call_name",
+    "terminal_name",
+    "iter_functions",
+    "contains_call_to",
+    "keyword_value",
+    "string_constants",
+    "walk_no_functions",
+]
+
+
+def call_name(node: ast.Call) -> str:
+    """The last path component of a call target (``a.b.C(...)`` → ``"C"``)."""
+    return terminal_name(node.func)
+
+
+def terminal_name(node: ast.AST) -> str:
+    """The trailing identifier of a Name/Attribute chain (else ``""``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, List[ast.AST]]]:
+    """Yield ``(function_def, enclosing_stack)`` for every def in ``tree``.
+
+    The stack holds the enclosing ClassDef/FunctionDef chain, outermost
+    first, so rules can tell methods from free functions.
+    """
+
+    def visit(node: ast.AST, stack: List[ast.AST]) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, list(stack)
+                yield from visit(child, stack + [child])
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, stack + [child])
+            else:
+                yield from visit(child, stack)
+
+    yield from visit(tree, [])
+
+
+def contains_call_to(node: ast.AST, name: str) -> bool:
+    """True iff some call inside ``node`` targets ``name`` (terminal match)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and call_name(sub) == name:
+            return True
+    return False
+
+
+def keyword_value(node: ast.Call, name: str) -> Optional[ast.AST]:
+    """The AST of keyword argument ``name``, or ``None``."""
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def string_constants(node: ast.AST) -> List[str]:
+    """Every string literal anywhere inside ``node``."""
+    return [
+        sub.value
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+    ]
+
+
+def walk_no_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into function bodies.
+
+    Class bodies *are* descended into — statements there execute at import
+    time, which is exactly what the import-discipline rules care about.
+    """
+    yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield from walk_no_functions(child)

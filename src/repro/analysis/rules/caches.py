@@ -1,0 +1,77 @@
+"""``cache-key-discipline``: per-source caches must be generation-keyed.
+
+Every per-source cache in the compatibility layers
+(:class:`~repro.utils.generational.GenerationalLRUCache`) keys entry validity
+on ``(source, generation)`` by syncing against the graph it was constructed
+with.  Two ways to get that wrong, both checked here:
+
+1. constructing a ``GenerationalLRUCache`` without the graph argument — the
+   cache then has nothing to sync against and silently serves stale results
+   after churn;
+2. using a plain :class:`~repro.utils.lru.LRUCache` for a per-source cache
+   inside ``repro.compatibility`` — those caches outlive mutations, which is
+   exactly the bug class PR 3 eliminated.  A deliberate static cache gets an
+   inline ``# repro: ignore[cache-key-discipline]`` stating why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register_rule
+from repro.analysis.rules._util import call_name, keyword_value
+
+
+def _first_positional_is_graphlike(call: ast.Call) -> bool:
+    """Reject literal first arguments — a graph is never a constant."""
+    if not call.args:
+        return False
+    first = call.args[0]
+    if isinstance(first, ast.Starred):
+        return True  # unpacked argument list: assume the caller knows
+    return not isinstance(first, ast.Constant)
+
+
+@register_rule
+class CacheKeyDisciplineRule(Rule):
+    id = "cache-key-discipline"
+    contract = (
+        "per-source caches are GenerationalLRUCache instances constructed "
+        "with their graph, so entries expire with the graph generation"
+    )
+
+    def check_module(self, ctx: ModuleContext):
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == "GenerationalLRUCache":
+                if not (
+                    _first_positional_is_graphlike(node)
+                    or keyword_value(node, "graph") is not None
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "GenerationalLRUCache constructed without its "
+                            "graph: entries cannot expire with the "
+                            "generation and will be served stale after "
+                            "mutations",
+                        )
+                    )
+            elif name == "LRUCache" and ctx.module.startswith("repro.compatibility"):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "plain LRUCache in a compatibility module: per-source "
+                        "results must live in a GenerationalLRUCache keyed on "
+                        "(source, generation), or carry an explicit "
+                        "suppression stating why this cache is "
+                        "mutation-independent",
+                    )
+                )
+        return findings

@@ -13,7 +13,10 @@ Installed as ``repro-teams`` (see ``pyproject.toml``); also runnable as
 * ``snapshot save|load|info`` — write a dataset's indexed graph to a
   ``.store`` snapshot file (``--labels`` also persists a distance-label
   index), load one back (memory-mapped by default), or inspect a file's
-  header and plane layout without numpy (``info --json`` for machines).
+  header and plane layout without numpy (``info --json`` for machines);
+* ``analyze`` — run the project's invariant lint rules (stdlib-AST static
+  analysis, see :mod:`repro.analysis`) over the source tree; ``--strict``
+  is the CI gate, ``--json`` emits the ``analysis.json`` artifact.
 
 The experiment commands (``table2``, ``figure2``, ``streaming`` and
 ``reproduce``) take ``--workers N`` / ``--chunk-size M`` to fan the
@@ -348,6 +351,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the header and plane layout as a JSON document",
     )
+
+    # The analyze flags live on repro.analysis.cli's own parser (shared with
+    # ``python -m repro.analysis``); everything after "analyze" passes through
+    # so the two entry points cannot drift.
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="run the project's invariant lint rules (static analysis)",
+        add_help=False,
+    )
+    analyze_parser.add_argument("analyze_args", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -644,8 +657,22 @@ def _command_snapshot(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_analyze(arguments: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as analyze_main
+
+    return analyze_main(arguments.analyze_args, prog="repro-teams analyze")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        # Hand everything after "analyze" to the analysis parser directly:
+        # argparse.REMAINDER refuses remainders that start with an option
+        # string ("analyze --strict"), so the passthrough happens pre-parse.
+        from repro.analysis.cli import main as analyze_main
+
+        return analyze_main(argv[1:], prog="repro-teams analyze")
     parser = build_parser()
     arguments = parser.parse_args(argv)
     handlers = {
@@ -657,6 +684,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure2": _command_figure2,
         "streaming": _command_streaming,
         "snapshot": _command_snapshot,
+        "analyze": _command_analyze,
     }
     return handlers[arguments.command](arguments)
 

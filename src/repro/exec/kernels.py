@@ -248,3 +248,22 @@ def dict_balanced_search(graph, sources: Sequence, params: dict) -> List:
     if params.get("exact", False):
         return [search.search_exact(source) for source in sources]
     return [search.search_heuristic(source) for source in sources]
+
+
+#: The degradation contract: every CSR kernel's dict-backend equivalent.
+#:
+#: When numpy is missing or a payload has no CSR view, the executor (and the
+#: compatibility layers above it) answer with the mapped ``dict_*`` kernel —
+#: per-source, arbitrary-precision, pure python.  ``build_labels`` degrades to
+#: plain per-source distances (the label index itself refuses to build without
+#: numpy), and both compatible-set kernels degrade to the per-source signed
+#: BFS the dict backend counts from.  ``repro-teams analyze`` enforces that
+#: this table stays total over the registry (kernel-registry-parity).
+SERIAL_EQUIVALENTS: Dict[str, str] = {
+    "csr_signed_bfs": "dict_signed_bfs",
+    "csr_path_lengths": "dict_path_lengths",
+    "build_labels": "dict_path_lengths",
+    "csr_sbph": "dict_balanced_search",
+    "csr_compatible_degrees": "dict_signed_bfs",
+    "csr_compatible_masks": "dict_signed_bfs",
+}

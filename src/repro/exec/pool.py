@@ -568,8 +568,8 @@ class _PoolHandle:
             roundtrip = pickle.loads(blob)
             import itertools
 
-            for node in itertools.islice(payload._adjacency, 16):
-                if node not in roundtrip._adjacency:
+            for node in itertools.islice(payload, 16):
+                if node not in roundtrip:
                     raise ExecutorUnavailable(
                         "graph nodes do not survive pickling with value "
                         f"equality (e.g. {node!r}); dict-backend pool "

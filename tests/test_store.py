@@ -11,6 +11,7 @@ as the snapshot itself rather than a lossy export of it.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -182,7 +183,7 @@ class TestStoreRoundtrip:
         # save() is the method spelling of save_snapshot().
         other = str(tmp_path / "method.store")
         csr.save(other)
-        assert open(other, "rb").read() == open(path, "rb").read()
+        assert Path(other).read_bytes() == Path(path).read_bytes()
 
     def test_node_table_skipped_for_worker_attach(self, tmp_path):
         graph = SignedGraph.from_edges([("a", "b", +1), ("b", "c", -1)])
@@ -289,8 +290,8 @@ class TestStoreDiagnostics:
         graph, _ = synthetic_signed_network(40, average_degree=4.0, negative_fraction=0.2, seed=3)
         path = str(tmp_path / "g.store")
         save_snapshot(graph.csr_view(), path)
-        data = open(path, "rb").read()
-        open(path, "wb").write(data[: len(data) // 2])
+        data = Path(path).read_bytes()
+        Path(path).write_bytes(data[: len(data) // 2])
         with pytest.raises(ValueError, match="truncated"):
             load_snapshot(path)
 
@@ -328,12 +329,12 @@ class TestStoreDiagnostics:
         graph, _ = synthetic_signed_network(30, average_degree=3.0, negative_fraction=0.2, seed=2)
         path = str(tmp_path / "g.store")
         save_snapshot(graph.csr_view(), path)
-        before = open(path, "rb").read()
+        before = Path(path).read_bytes()
         monkeypatch.setattr(os, "fsync", lambda fd: (_ for _ in ()).throw(OSError()))
         with pytest.raises(OSError):
             save_snapshot(graph.csr_view(), path)
         # The failed rewrite left the original file untouched.
-        assert open(path, "rb").read() == before
+        assert Path(path).read_bytes() == before
 
     def test_numpy_free_save_load_raise_clear_importerror(self, tmp_path, monkeypatch):
         import repro.utils.optional as optional
@@ -412,12 +413,12 @@ class TestStoreLabels:
         csr = self._graph().csr_view()
         path = str(tmp_path / "g.store")
         save_snapshot(csr, path)
-        data = bytearray(open(path, "rb").read())
+        data = bytearray(Path(path).read_bytes())
         fields = list(_HEADER.unpack_from(data))
         assert fields[1] == VERSION
         fields[1] = 1
         data[: _HEADER.size] = _HEADER.pack(*fields)
-        open(path, "wb").write(bytes(data))
+        Path(path).write_bytes(bytes(data))
         assert snapshot_info(path)["version"] == 1
         assert snapshot_info(path)["labels"] is None
         assert load_labels(path) is None
